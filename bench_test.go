@@ -1,0 +1,274 @@
+// Benchmarks mirroring the paper's evaluation artifacts, one family per
+// table/figure, on small fixed datasets so `go test -bench=.` finishes
+// in minutes. The full scaled experiment suite (with the paper's row
+// sets and OOM columns) is `go run ./cmd/bench -exp all`; EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+package dcdatalog_test
+
+import (
+	"fmt"
+	"testing"
+
+	dcdatalog "repro"
+	"repro/internal/coord"
+	"repro/internal/datasets"
+	"repro/internal/des"
+	"repro/internal/queries"
+	"repro/internal/storage"
+)
+
+const benchWorkers = 4
+
+// strategies used across the comparison benchmarks.
+var strategies = []struct {
+	name string
+	s    dcdatalog.Strategy
+}{
+	{"global", dcdatalog.Global},
+	{"ssp", dcdatalog.SSP},
+	{"dws", dcdatalog.DWS},
+}
+
+func arcDB(b *testing.B, edges []datasets.Edge) *dcdatalog.Database {
+	b.Helper()
+	db := dcdatalog.NewDatabase()
+	db.MustDeclare("arc", dcdatalog.Col("x", dcdatalog.Int), dcdatalog.Col("y", dcdatalog.Int))
+	if err := db.LoadTuples("arc", datasets.EdgeTuples(edges)); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func warcDB(b *testing.B, edges []datasets.WEdge) *dcdatalog.Database {
+	b.Helper()
+	db := dcdatalog.NewDatabase()
+	db.MustDeclare("warc", dcdatalog.Col("x", dcdatalog.Int), dcdatalog.Col("y", dcdatalog.Int), dcdatalog.Col("w", dcdatalog.Int))
+	if err := db.LoadTuples("warc", datasets.WEdgeTuples(edges)); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func mustQuery(b *testing.B, db *dcdatalog.Database, src string, opts ...dcdatalog.Option) *dcdatalog.Result {
+	b.Helper()
+	res, err := db.Query(src, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkTable2 covers the headline engine comparison: each paper
+// query under each coordination strategy.
+func BenchmarkTable2(b *testing.B) {
+	b.Run("SG/tree6", func(b *testing.B) {
+		edges := datasets.Tree(6, 2, 3, 1)
+		db := arcDB(b, edges)
+		src := queries.SG().Source
+		for _, st := range strategies {
+			b.Run(st.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					mustQuery(b, db, src, dcdatalog.WithWorkers(benchWorkers), dcdatalog.WithStrategy(st.s))
+				}
+			})
+		}
+	})
+	b.Run("CC/rmat1k", func(b *testing.B) {
+		edges := datasets.Undirect(datasets.RMATn(1024, 1))
+		db := arcDB(b, edges)
+		src := queries.CC().Source
+		for _, st := range strategies {
+			b.Run(st.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					mustQuery(b, db, src, dcdatalog.WithWorkers(benchWorkers), dcdatalog.WithStrategy(st.s))
+				}
+			})
+		}
+	})
+	b.Run("SSSP/rmat1k", func(b *testing.B) {
+		edges := datasets.Weight(datasets.Undirect(datasets.RMATn(1024, 1)), 100, 1)
+		db := warcDB(b, edges)
+		src := queries.SSSP().Source
+		for _, st := range strategies {
+			b.Run(st.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					mustQuery(b, db, src, dcdatalog.WithWorkers(benchWorkers),
+						dcdatalog.WithStrategy(st.s), dcdatalog.WithParam("start", 0))
+				}
+			})
+		}
+	})
+	b.Run("Delivery/n20k", func(b *testing.B) {
+		bom := datasets.NTree(20000, 1)
+		src := queries.Delivery().Source
+		db := dcdatalog.NewDatabase()
+		db.MustDeclare("assbl", dcdatalog.Col("p", dcdatalog.Int), dcdatalog.Col("s", dcdatalog.Int))
+		db.MustDeclare("basic", dcdatalog.Col("p", dcdatalog.Int), dcdatalog.Col("d", dcdatalog.Int))
+		if err := db.LoadTuples("assbl", bom.Assbl); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.LoadTuples("basic", bom.Basic); err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range strategies {
+			b.Run(st.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					mustQuery(b, db, src, dcdatalog.WithWorkers(benchWorkers), dcdatalog.WithStrategy(st.s))
+				}
+			})
+		}
+	})
+	b.Run("PageRank/rmat512", func(b *testing.B) {
+		edges := datasets.RMATn(512, 1)
+		deg := map[int64]int64{}
+		verts := map[int64]bool{}
+		for _, e := range edges {
+			deg[e.Src]++
+			verts[e.Src] = true
+			verts[e.Dst] = true
+		}
+		var matrix []storage.Tuple
+		for _, e := range edges {
+			matrix = append(matrix, storage.Tuple{
+				storage.IntVal(e.Src), storage.IntVal(e.Dst), storage.FloatVal(float64(deg[e.Src]))})
+		}
+		db := dcdatalog.NewDatabase()
+		db.MustDeclare("matrix", dcdatalog.Col("x", dcdatalog.Int), dcdatalog.Col("y", dcdatalog.Int), dcdatalog.Col("d", dcdatalog.Float))
+		if err := db.LoadTuples("matrix", matrix); err != nil {
+			b.Fatal(err)
+		}
+		src := queries.PR().Source
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mustQuery(b, db, src,
+				dcdatalog.WithWorkers(benchWorkers),
+				dcdatalog.WithParam("alpha", 0.85),
+				dcdatalog.WithParam("vnum", float64(len(verts))),
+				dcdatalog.WithEpsilon(1e-6))
+		}
+	})
+}
+
+// BenchmarkTable3 covers APSP: aligned two-way partitioning vs the
+// broadcast replication baseline.
+func BenchmarkTable3(b *testing.B) {
+	edges := datasets.Weight(datasets.RMATn(32, 1), 100, 1)
+	src := queries.APSP().Source
+	b.Run("two-way", func(b *testing.B) {
+		db := warcDB(b, edges)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mustQuery(b, db, src, dcdatalog.WithWorkers(benchWorkers))
+		}
+	})
+	b.Run("broadcast", func(b *testing.B) {
+		db := warcDB(b, edges)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mustQuery(b, db, src, dcdatalog.WithWorkers(benchWorkers), dcdatalog.WithBroadcastReplication())
+		}
+	})
+}
+
+// BenchmarkTable4 covers the §6.2 optimization ablation on CC.
+func BenchmarkTable4(b *testing.B) {
+	edges := datasets.Undirect(datasets.RMATn(1024, 1))
+	db := arcDB(b, edges)
+	src := queries.CC().Source
+	b.Run("with-opts", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mustQuery(b, db, src, dcdatalog.WithWorkers(benchWorkers))
+		}
+	})
+	b.Run("without-opts", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mustQuery(b, db, src, dcdatalog.WithWorkers(benchWorkers),
+				dcdatalog.WithoutExistCache(), dcdatalog.WithoutIndexAgg(), dcdatalog.WithoutPartialAgg())
+		}
+	})
+}
+
+// BenchmarkFigure1 is the motivating SSSP comparison on the scaled
+// LiveJournal stand-in.
+func BenchmarkFigure1(b *testing.B) {
+	g := datasets.LiveJournalLike(1.0 / 8192)
+	edges := datasets.Weight(datasets.Undirect(g.Generate(1)), 100, 1)
+	db := warcDB(b, edges)
+	src := queries.SSSP().Source
+	for _, st := range strategies {
+		b.Run(st.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustQuery(b, db, src, dcdatalog.WithWorkers(benchWorkers),
+					dcdatalog.WithStrategy(st.s), dcdatalog.WithParam("start", 0))
+			}
+		})
+	}
+}
+
+// BenchmarkFigure3 replays the worked coordination example on the
+// discrete-event simulator.
+func BenchmarkFigure3(b *testing.B) {
+	for _, k := range []coord.Kind{coord.Global, coord.SSP, coord.DWS} {
+		b.Run(k.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := des.Figure3(k)
+				if r.Time <= 0 {
+					b.Fatal("simulation failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure8 compares the coordination strategies on CC.
+func BenchmarkFigure8(b *testing.B) {
+	edges := datasets.Undirect(datasets.RMATn(2048, 1))
+	db := arcDB(b, edges)
+	src := queries.CC().Source
+	for _, st := range strategies {
+		b.Run("CC/"+st.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustQuery(b, db, src, dcdatalog.WithWorkers(benchWorkers), dcdatalog.WithStrategy(st.s))
+			}
+		})
+	}
+}
+
+// BenchmarkFigure9a sweeps worker counts (thread scale-up).
+func BenchmarkFigure9a(b *testing.B) {
+	edges := datasets.Undirect(datasets.RMATn(2048, 1))
+	db := arcDB(b, edges)
+	src := queries.CC().Source
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustQuery(b, db, src, dcdatalog.WithWorkers(w))
+			}
+		})
+	}
+}
+
+// BenchmarkFigure9b sweeps dataset sizes (data scale-up).
+func BenchmarkFigure9b(b *testing.B) {
+	src := queries.CC().Source
+	for _, n := range []int64{512, 1024, 2048, 4096} {
+		edges := datasets.Undirect(datasets.RMATn(n, 1))
+		db := arcDB(b, edges)
+		b.Run(fmt.Sprintf("rmat-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustQuery(b, db, src, dcdatalog.WithWorkers(benchWorkers))
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+// Command bench regenerates the paper's tables and figures on scaled
+// datasets:
+//
+//	bench -exp all            # everything
+//	bench -exp table2         # one experiment
+//	bench -exp fig9a -workers 8 -scale 2
+//
+// Experiments: table2, table3, table4, fig1, fig3, fig8, fig9a, fig9b.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table2, table3, table4, fig1, fig3, fig8, fig9a, fig9b")
+	scale := flag.Float64("scale", 1, "dataset scale multiplier")
+	workers := flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS, min 4)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Workers: *workers, Seed: *seed}
+	runners := map[string]func() []*bench.Table{
+		"table2": func() []*bench.Table { return []*bench.Table{bench.Table2(cfg)} },
+		"table3": func() []*bench.Table { return []*bench.Table{bench.Table3(cfg)} },
+		"table4": func() []*bench.Table { return []*bench.Table{bench.Table4(cfg)} },
+		"fig1":   func() []*bench.Table { return []*bench.Table{bench.Figure1(cfg)} },
+		"fig3":   func() []*bench.Table { return []*bench.Table{bench.Figure3()} },
+		"fig8":   func() []*bench.Table { return []*bench.Table{bench.Figure8(cfg)} },
+		"fig9a":  func() []*bench.Table { return bench.Figure9a(cfg) },
+		"fig9b":  func() []*bench.Table { return []*bench.Table{bench.Figure9b(cfg)} },
+	}
+	order := []string{"fig3", "fig1", "table2", "table3", "table4", "fig8", "fig9a", "fig9b"}
+
+	var selected []string
+	switch *exp {
+	case "all":
+		selected = order
+	default:
+		for _, name := range strings.Split(*exp, ",") {
+			if _, ok := runners[name]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (choose from %s)\n", name, strings.Join(order, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, name)
+		}
+	}
+	for _, name := range selected {
+		for _, t := range runners[name]() {
+			t.Render(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command datagen writes the paper's synthetic datasets as TSV files:
+//
+//	datagen -kind rmat -n 10000 -o rmat10k.tsv
+//	datagen -kind gnp -n 10000 -m 100000 -o g10k.tsv
+//	datagen -kind tree -height 11 -o tree11.tsv
+//	datagen -kind ntree -n 300000 -o n300k          # writes .assbl/.basic
+//	datagen -kind livejournal -scale 0.001 -o lj.tsv
+//
+// Add -weights 100 to attach uniform edge weights, -undirect to double
+// every edge.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datasets"
+	"repro/internal/storage"
+)
+
+func main() {
+	if err := mainErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr() error {
+	kind := flag.String("kind", "rmat", "rmat, gnp, tree, ntree, livejournal, orkut, arabic, twitter")
+	n := flag.Int64("n", 10000, "vertex count (rmat/gnp/ntree)")
+	m := flag.Int("m", 0, "edge count (gnp; rmat defaults to 10n)")
+	height := flag.Int("height", 11, "tree height")
+	scale := flag.Float64("scale", 0.001, "scale for real-graph stand-ins")
+	seed := flag.Int64("seed", 42, "generator seed")
+	weights := flag.Int64("weights", 0, "attach uniform weights in [1,w]")
+	undirect := flag.Bool("undirect", false, "emit both edge directions")
+	out := flag.String("o", "", "output file (required)")
+	flag.Parse()
+
+	if *out == "" {
+		return fmt.Errorf("-o is required")
+	}
+
+	if *kind == "ntree" {
+		bom := datasets.NTree(*n, *seed)
+		if err := writeTuples(*out+".assbl", bom.Assbl); err != nil {
+			return err
+		}
+		if err := writeTuples(*out+".basic", bom.Basic); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s.assbl (%d rows) and %s.basic (%d rows), %d parts\n",
+			*out, len(bom.Assbl), *out, len(bom.Basic), bom.Parts)
+		return nil
+	}
+
+	var edges []datasets.Edge
+	switch *kind {
+	case "rmat":
+		mm := *m
+		if mm == 0 {
+			mm = int(10 * *n)
+		}
+		edges = datasets.RMAT(*n, mm, *seed)
+	case "gnp":
+		mm := *m
+		if mm == 0 {
+			mm = int(float64(*n) * float64(*n) * 0.001)
+		}
+		edges = datasets.Gnp(*n, mm, *seed)
+	case "tree":
+		edges = datasets.Tree(*height, 2, 6, *seed)
+	case "livejournal":
+		edges = datasets.LiveJournalLike(*scale).Generate(*seed)
+	case "orkut":
+		edges = datasets.OrkutLike(*scale).Generate(*seed)
+	case "arabic":
+		edges = datasets.ArabicLike(*scale).Generate(*seed)
+	case "twitter":
+		edges = datasets.TwitterLike(*scale).Generate(*seed)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if *undirect {
+		edges = datasets.Undirect(edges)
+	}
+
+	var tuples []storage.Tuple
+	if *weights > 0 {
+		tuples = datasets.WEdgeTuples(datasets.Weight(edges, *weights, *seed))
+	} else {
+		tuples = datasets.EdgeTuples(edges)
+	}
+	if err := writeTuples(*out, tuples); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows)\n", *out, len(tuples))
+	return nil
+}
+
+func writeTuples(path string, tuples []storage.Tuple) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, t := range tuples {
+		for i, v := range t {
+			if i > 0 {
+				fmt.Fprint(w, "\t")
+			}
+			fmt.Fprint(w, v.Int())
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,450 @@
+// Package dcdatalog is a parallel Datalog engine for shared-memory
+// multicore machines, reproducing DCDatalog (Wu, Wang, Zaniolo —
+// "Optimizing Parallel Recursive Datalog Evaluation on Multicore
+// Machines", SIGMOD 2022).
+//
+// Programs are sets of rules with recursion, stratified negation and
+// monotone aggregates in recursion (min, max, count, and the keyed sum
+// of PageRank). Evaluation is parallel semi-naive over hash-partitioned
+// worker goroutines exchanging deltas through single-producer
+// single-consumer rings, coordinated by the paper's Dynamic
+// Weight-based Strategy (default) or the Global/SSP baselines.
+//
+// Quick start:
+//
+//	db := dcdatalog.NewDatabase()
+//	db.MustDeclare("arc", dcdatalog.Col("x", dcdatalog.Int), dcdatalog.Col("y", dcdatalog.Int))
+//	db.MustLoad("arc", [][]any{{1, 2}, {2, 3}})
+//	res, err := db.Query(`
+//		tc(X, Y) :- arc(X, Y).
+//		tc(X, Y) :- tc(X, Z), arc(Z, Y).
+//	`)
+//	rows := res.Rows("tc") // [[1 2] [1 3] [2 3]]
+package dcdatalog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/engine"
+	"repro/internal/parser"
+	"repro/internal/pcg"
+	"repro/internal/physical"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// Type is a column type.
+type Type = storage.Type
+
+// Column types.
+const (
+	// Int is a 64-bit signed integer column.
+	Int = storage.TInt
+	// Float is a 64-bit IEEE-754 column.
+	Float = storage.TFloat
+	// Sym is an interned string column.
+	Sym = storage.TSym
+)
+
+// Tuple is one row of a relation (raw 64-bit values; see Result.Rows
+// for decoded access).
+type Tuple = storage.Tuple
+
+// Column describes one attribute of a relation.
+type Column = storage.Column
+
+// Col builds a column descriptor.
+func Col(name string, t Type) Column { return Column{Name: name, Type: t} }
+
+// Strategy selects the parallel coordination scheme.
+type Strategy = coord.Kind
+
+// Coordination strategies.
+const (
+	// Global coordinates with a barrier after every global iteration
+	// (the DeALS-MC scheme).
+	Global = coord.Global
+	// SSP bounds staleness by a fixed slack s.
+	SSP = coord.SSP
+	// DWS is the paper's dynamic weight-based strategy (default).
+	DWS = coord.DWS
+)
+
+// Database holds extensional relations and interned symbols.
+type Database struct {
+	syms    *storage.SymbolTable
+	schemas map[string]*storage.Schema
+	data    map[string][]storage.Tuple
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{
+		syms:    storage.NewSymbolTable(),
+		schemas: make(map[string]*storage.Schema),
+		data:    make(map[string][]storage.Tuple),
+	}
+}
+
+// Declare registers an extensional relation's schema.
+func (db *Database) Declare(name string, cols ...Column) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("dcdatalog: relation %q needs at least one column", name)
+	}
+	if _, ok := db.schemas[name]; ok {
+		return fmt.Errorf("dcdatalog: relation %q already declared", name)
+	}
+	db.schemas[name] = storage.NewSchema(name, cols...)
+	return nil
+}
+
+// MustDeclare is Declare that panics on error.
+func (db *Database) MustDeclare(name string, cols ...Column) {
+	if err := db.Declare(name, cols...); err != nil {
+		panic(err)
+	}
+}
+
+// DeclareSchema registers a prebuilt schema (as produced by
+// internal/queries).
+func (db *Database) DeclareSchema(s *storage.Schema) error {
+	if _, ok := db.schemas[s.Name]; ok {
+		return fmt.Errorf("dcdatalog: relation %q already declared", s.Name)
+	}
+	db.schemas[s.Name] = s
+	return nil
+}
+
+// Load appends rows to a declared relation, converting Go values
+// (int/int64/float64/string) per the schema.
+func (db *Database) Load(name string, rows [][]any) error {
+	schema, ok := db.schemas[name]
+	if !ok {
+		return fmt.Errorf("dcdatalog: relation %q is not declared", name)
+	}
+	for _, row := range rows {
+		if len(row) != schema.Arity() {
+			return fmt.Errorf("dcdatalog: %s expects %d columns, got %d", name, schema.Arity(), len(row))
+		}
+		t := make(storage.Tuple, len(row))
+		for i, v := range row {
+			val, err := db.encode(v, schema.ColType(i))
+			if err != nil {
+				return fmt.Errorf("dcdatalog: %s column %d: %v", name, i+1, err)
+			}
+			t[i] = val
+		}
+		db.data[name] = append(db.data[name], t)
+	}
+	return nil
+}
+
+// MustLoad is Load that panics on error.
+func (db *Database) MustLoad(name string, rows [][]any) {
+	if err := db.Load(name, rows); err != nil {
+		panic(err)
+	}
+}
+
+// LoadTuples appends pre-encoded tuples (bulk path for generators).
+func (db *Database) LoadTuples(name string, tuples []Tuple) error {
+	schema, ok := db.schemas[name]
+	if !ok {
+		return fmt.Errorf("dcdatalog: relation %q is not declared", name)
+	}
+	for _, t := range tuples {
+		if len(t) != schema.Arity() {
+			return fmt.Errorf("dcdatalog: %s expects arity %d, got %d", name, schema.Arity(), len(t))
+		}
+	}
+	db.data[name] = append(db.data[name], tuples...)
+	return nil
+}
+
+// LoadTSV reads tab- or whitespace-separated rows into a declared
+// relation.
+func (db *Database) LoadTSV(name string, r io.Reader) error {
+	schema, ok := db.schemas[name]
+	if !ok {
+		return fmt.Errorf("dcdatalog: relation %q is not declared", name)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != schema.Arity() {
+			return fmt.Errorf("dcdatalog: %s line %d: %d fields, want %d", name, line, len(fields), schema.Arity())
+		}
+		t := make(storage.Tuple, len(fields))
+		for i, f := range fields {
+			switch schema.ColType(i) {
+			case storage.TInt:
+				v, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return fmt.Errorf("dcdatalog: %s line %d: %v", name, line, err)
+				}
+				t[i] = storage.IntVal(v)
+			case storage.TFloat:
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return fmt.Errorf("dcdatalog: %s line %d: %v", name, line, err)
+				}
+				t[i] = storage.FloatVal(v)
+			default:
+				t[i] = storage.SymVal(db.syms.Intern(f))
+			}
+		}
+		db.data[name] = append(db.data[name], t)
+	}
+	return sc.Err()
+}
+
+// Relation returns the loaded tuples of an extensional relation.
+func (db *Database) Relation(name string) []Tuple { return db.data[name] }
+
+func (db *Database) encode(v any, t Type) (storage.Value, error) {
+	switch x := v.(type) {
+	case int:
+		if t == storage.TFloat {
+			return storage.FloatVal(float64(x)), nil
+		}
+		return storage.IntVal(int64(x)), nil
+	case int64:
+		if t == storage.TFloat {
+			return storage.FloatVal(float64(x)), nil
+		}
+		return storage.IntVal(x), nil
+	case float64:
+		if t != storage.TFloat {
+			return 0, fmt.Errorf("float value for %s column", t)
+		}
+		return storage.FloatVal(x), nil
+	case string:
+		if t != storage.TSym {
+			return 0, fmt.Errorf("string value for %s column", t)
+		}
+		return storage.SymVal(db.syms.Intern(x)), nil
+	default:
+		return 0, fmt.Errorf("unsupported value type %T", v)
+	}
+}
+
+// config collects query options.
+type config struct {
+	opts      engine.Options
+	params    map[string]physical.Param
+	broadcast bool
+}
+
+// Option configures one query execution.
+type Option func(*config, *Database) error
+
+// WithWorkers sets the number of parallel workers.
+func WithWorkers(n int) Option {
+	return func(c *config, _ *Database) error { c.opts.Workers = n; return nil }
+}
+
+// WithStrategy selects the coordination strategy.
+func WithStrategy(s Strategy) Option {
+	return func(c *config, _ *Database) error { c.opts.Strategy = s; return nil }
+}
+
+// WithSlack sets the SSP staleness bound s.
+func WithSlack(s int) Option {
+	return func(c *config, _ *Database) error { c.opts.Slack = s; return nil }
+}
+
+// WithMaxWait caps DWS's per-decision wait budget τ.
+func WithMaxWait(d time.Duration) Option {
+	return func(c *config, _ *Database) error { c.opts.MaxWait = d; return nil }
+}
+
+// WithBatchSize sets the tuple count per exchanged message.
+func WithBatchSize(n int) Option {
+	return func(c *config, _ *Database) error { c.opts.BatchSize = n; return nil }
+}
+
+// WithEpsilon sets the convergence threshold for float sum aggregates.
+func WithEpsilon(eps float64) Option {
+	return func(c *config, _ *Database) error { c.opts.Epsilon = eps; return nil }
+}
+
+// WithMaxIterations bounds local iterations per worker (0 = fixpoint).
+func WithMaxIterations(n int) Option {
+	return func(c *config, _ *Database) error { c.opts.MaxLocalIters = n; return nil }
+}
+
+// WithMaxTuples bounds the total tuples exchanged per stratum (0 =
+// unbounded); exceeding the budget stops evaluation short of the
+// fixpoint and marks the stratum capped, the out-of-memory analogue
+// for diverging programs.
+func WithMaxTuples(n int64) Option {
+	return func(c *config, _ *Database) error { c.opts.MaxTuples = n; return nil }
+}
+
+// WithoutExistCache disables the existence-check cache (ablation).
+func WithoutExistCache() Option {
+	return func(c *config, _ *Database) error { c.opts.NoExistCache = true; return nil }
+}
+
+// WithoutIndexAgg disables index-assisted aggregate merges (ablation).
+func WithoutIndexAgg() Option {
+	return func(c *config, _ *Database) error { c.opts.NoIndexAgg = true; return nil }
+}
+
+// WithoutPartialAgg disables partial aggregation in Distribute
+// (ablation).
+func WithoutPartialAgg() Option {
+	return func(c *config, _ *Database) error { c.opts.NoPartialAgg = true; return nil }
+}
+
+// WithBroadcastReplication forces broadcast replication of recursive
+// relations instead of aligned partitioning — the APSP strategy the
+// paper attributes to SociaLite/DDlog, kept as a comparison baseline.
+func WithBroadcastReplication() Option {
+	return func(c *config, _ *Database) error { c.broadcast = true; return nil }
+}
+
+// WithParam binds a $parameter (int, int64, float64 or string).
+func WithParam(name string, value any) Option {
+	return func(c *config, db *Database) error {
+		var p physical.Param
+		switch x := value.(type) {
+		case int:
+			p = physical.Param{Value: storage.IntVal(int64(x)), Type: storage.TInt}
+		case int64:
+			p = physical.Param{Value: storage.IntVal(x), Type: storage.TInt}
+		case float64:
+			p = physical.Param{Value: storage.FloatVal(x), Type: storage.TFloat}
+		case string:
+			p = physical.Param{Value: storage.SymVal(db.syms.Intern(x)), Type: storage.TSym}
+		default:
+			return fmt.Errorf("dcdatalog: unsupported parameter type %T for $%s", value, name)
+		}
+		c.params[name] = p
+		return nil
+	}
+}
+
+// Stats summarizes an execution.
+type Stats = engine.Stats
+
+// Result is a query's materialized output.
+type Result struct {
+	db       *Database
+	analysis *pcg.Analysis
+	res      *engine.Result
+}
+
+// Relation returns the raw tuples of a derived relation.
+func (r *Result) Relation(name string) []Tuple { return r.res.Relations[name] }
+
+// Rows decodes a derived relation into Go values per its schema.
+func (r *Result) Rows(name string) [][]any {
+	schema := r.analysis.Schemas[name]
+	tuples := r.res.Relations[name]
+	out := make([][]any, len(tuples))
+	for i, t := range tuples {
+		row := make([]any, len(t))
+		for j, v := range t {
+			switch schema.ColType(j) {
+			case storage.TFloat:
+				row[j] = v.Float()
+			case storage.TSym:
+				if s, ok := r.db.syms.Lookup(v.Sym()); ok {
+					row[j] = s
+				} else {
+					row[j] = v.Sym()
+				}
+			default:
+				row[j] = v.Int()
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Len returns the cardinality of a derived relation.
+func (r *Result) Len(name string) int { return len(r.res.Relations[name]) }
+
+// Stats returns execution statistics.
+func (r *Result) Stats() Stats { return r.res.Stats }
+
+// compile runs the full front end for a query.
+func (db *Database) compile(src string, opts []Option) (*physical.Program, *pcg.Analysis, engine.Options, error) {
+	c := &config{params: make(map[string]physical.Param)}
+	c.opts.Strategy = coord.DWS // the paper's strategy is the default
+	for _, o := range opts {
+		if err := o(c, db); err != nil {
+			return nil, nil, engine.Options{}, err
+		}
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, nil, engine.Options{}, err
+	}
+	paramTypes := make(map[string]storage.Type, len(c.params))
+	for k, p := range c.params {
+		paramTypes[k] = p.Type
+	}
+	analysis, err := pcg.Analyze(prog, db.schemas, paramTypes)
+	if err != nil {
+		return nil, nil, engine.Options{}, err
+	}
+	var bopts []plan.BuildOption
+	if c.broadcast {
+		bopts = append(bopts, plan.WithForceBroadcast())
+	}
+	logical, err := plan.Build(analysis, bopts...)
+	if err != nil {
+		return nil, nil, engine.Options{}, err
+	}
+	phys, err := physical.Compile(logical, c.params, db.syms)
+	if err != nil {
+		return nil, nil, engine.Options{}, err
+	}
+	return phys, analysis, c.opts, nil
+}
+
+// Query parses, plans and executes a program against the database.
+func (db *Database) Query(src string, opts ...Option) (*Result, error) {
+	phys, analysis, eopts, err := db.compile(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Run(phys, db.data, eopts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{db: db, analysis: analysis, res: res}, nil
+}
+
+// Explain returns the logical plan and AND/OR tree of a program
+// without executing it.
+func (db *Database) Explain(src string, opts ...Option) (string, error) {
+	phys, analysis, _, err := db.compile(src, opts)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(phys.Plan.Explain())
+	for _, s := range analysis.Strata {
+		for _, p := range s.Preds {
+			fmt.Fprintf(&b, "\nAND/OR tree for %s:\n%s", p, analysis.AndOrTree(p))
+		}
+	}
+	return b.String(), nil
+}

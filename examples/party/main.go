@@ -1,0 +1,53 @@
+// Who will attend the party — the paper's Query 4, a mutual recursion
+// between attend and a count aggregate: organizers attend, and anyone
+// with at least three attending friends joins too, which may convince
+// further friends, and so on to the fixpoint.
+//
+//	go run ./examples/party
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	dcdatalog "repro"
+)
+
+func main() {
+	db := dcdatalog.NewDatabase()
+	db.MustDeclare("organizer", dcdatalog.Col("who", dcdatalog.Sym))
+	db.MustDeclare("friend", dcdatalog.Col("who", dcdatalog.Sym), dcdatalog.Col("of", dcdatalog.Sym))
+	db.MustLoad("organizer", [][]any{{"ann"}, {"bob"}, {"cleo"}})
+	db.MustLoad("friend", [][]any{
+		// dave is friends with all three organizers: he will come, and
+		// that tips erin over her threshold too.
+		{"dave", "ann"}, {"dave", "bob"}, {"dave", "cleo"},
+		{"erin", "ann"}, {"erin", "bob"}, {"erin", "dave"},
+		// frank only knows two attendees: he stays home.
+		{"frank", "ann"}, {"frank", "erin"},
+	})
+
+	res, err := db.Query(`
+		attend(X) :- organizer(X).
+		cnt(Y, count<X>) :- attend(X), friend(Y, X).
+		attend(X) :- cnt(X, N), N >= 3.
+	`, dcdatalog.WithWorkers(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var attending []string
+	for _, row := range res.Rows("attend") {
+		attending = append(attending, row[0].(string))
+	}
+	sort.Strings(attending)
+	fmt.Println("attending:", attending)
+
+	fmt.Println("attending-friend counts:")
+	counts := res.Rows("cnt")
+	sort.Slice(counts, func(i, j int) bool { return counts[i][0].(string) < counts[j][0].(string) })
+	for _, row := range counts {
+		fmt.Printf("  %-6v %v\n", row[0], row[1])
+	}
+}

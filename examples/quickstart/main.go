@@ -1,0 +1,33 @@
+// Quickstart: transitive closure in a dozen lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dcdatalog "repro"
+)
+
+func main() {
+	db := dcdatalog.NewDatabase()
+	db.MustDeclare("arc", dcdatalog.Col("x", dcdatalog.Int), dcdatalog.Col("y", dcdatalog.Int))
+	db.MustLoad("arc", [][]any{{1, 2}, {2, 3}, {3, 4}, {4, 2}})
+
+	res, err := db.Query(`
+		tc(X, Y) :- arc(X, Y).
+		tc(X, Y) :- tc(X, Z), arc(Z, Y).
+	`, dcdatalog.WithWorkers(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("transitive closure has %d pairs:\n", res.Len("tc"))
+	for _, row := range res.Rows("tc") {
+		fmt.Printf("  %v can reach %v\n", row[0], row[1])
+	}
+	stats := res.Stats()
+	fmt.Printf("evaluated with %d workers under %s in %s\n",
+		stats.Workers, stats.Strategy, stats.Duration)
+}

@@ -1,0 +1,369 @@
+// Package ast defines the abstract syntax of DCDatalog programs: typed
+// relation declarations, rules built from atoms and conditions, head
+// aggregates (min/max/count/sum, including the keyed sum<(Y,K)> form of
+// the paper's Query 6), arithmetic expressions, query parameters ($p),
+// and stratified negation.
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Position locates a syntax element in the source text.
+type Position struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Program is a parsed Datalog program: declarations, rules and ground
+// facts given inline.
+type Program struct {
+	Decls []*Decl
+	Rules []*Rule
+}
+
+// DeclFor returns the declaration of the named relation, if present.
+func (p *Program) DeclFor(name string) *Decl {
+	for _, d := range p.Decls {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// String renders the program back to (normalized) source text.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, d := range p.Decls {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Decl is a relation declaration: .decl name(col:type, ...).
+type Decl struct {
+	Pos  Position
+	Name string
+	Cols []ColDecl
+}
+
+// ColDecl is one typed column in a declaration.
+type ColDecl struct {
+	Name string
+	Type string // "int", "float", "sym"
+}
+
+// String renders the declaration.
+func (d *Decl) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".decl %s(", d.Name)
+	for i, c := range d.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%s", c.Name, c.Type)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Rule is a Datalog rule head :- body. A rule with an empty body is a
+// fact (possibly with head constants only).
+type Rule struct {
+	Pos  Position
+	Head *Atom
+	Body []Literal
+}
+
+// IsFact reports whether the rule has no body literals.
+func (r *Rule) IsFact() bool { return len(r.Body) == 0 }
+
+// Atoms returns the positive relational atoms of the body.
+func (r *Rule) Atoms() []*Atom {
+	var out []*Atom
+	for _, l := range r.Body {
+		if a, ok := l.(*Atom); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// String renders the rule.
+func (r *Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Head.String())
+	if len(r.Body) > 0 {
+		b.WriteString(" :- ")
+		for i, l := range r.Body {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(l.String())
+		}
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// Literal is a body element: a positive atom, a negated atom, or a
+// condition (comparison / binding).
+type Literal interface {
+	fmt.Stringer
+	literal()
+}
+
+// Atom is a predicate applied to terms: pred(t1, ..., tk).
+type Atom struct {
+	Pos  Position
+	Pred string
+	Args []Term
+}
+
+func (*Atom) literal() {}
+
+// String renders the atom.
+func (a *Atom) String() string {
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Negation is a negated atom in a rule body ("!atom" / "not atom").
+// DCDatalog supports it only across strata (stratified negation), never
+// inside a recursive clique, matching the paper's stated limitation.
+type Negation struct {
+	Atom *Atom
+}
+
+func (*Negation) literal() {}
+
+// String renders the negation.
+func (n *Negation) String() string { return "!" + n.Atom.String() }
+
+// CmpOp enumerates comparison operators in conditions.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String renders the operator as written in source.
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Condition is a comparison between two expressions. An equality whose
+// left side is a not-yet-bound variable acts as a binding (let), e.g.
+// "D = D1 + D2" in SSSP; the planner decides which role it plays.
+type Condition struct {
+	Pos Position
+	Op  CmpOp
+	L   Expr
+	R   Expr
+}
+
+func (*Condition) literal() {}
+
+// String renders the condition.
+func (c *Condition) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// Term is an argument of an atom.
+type Term interface {
+	fmt.Stringer
+	term()
+}
+
+// Var is a variable term. The parser renames each "_" wildcard to a
+// unique variable.
+type Var struct {
+	Name string
+}
+
+func (*Var) term() {}
+func (*Var) expr() {}
+
+// String returns the variable name.
+func (v *Var) String() string { return v.Name }
+
+// Num is a numeric literal term.
+type Num struct {
+	IsFloat bool
+	Int     int64
+	Float   float64
+}
+
+func (*Num) term() {}
+func (*Num) expr() {}
+
+// String renders the literal.
+func (n *Num) String() string {
+	if n.IsFloat {
+		return fmt.Sprintf("%g", n.Float)
+	}
+	return fmt.Sprintf("%d", n.Int)
+}
+
+// Str is a string literal term.
+type Str struct {
+	Val string
+}
+
+func (*Str) term() {}
+func (*Str) expr() {}
+
+// String renders the literal with quotes.
+func (s *Str) String() string { return fmt.Sprintf("%q", s.Val) }
+
+// Param is a query parameter ($name) bound at execution time, e.g. the
+// source vertex of SSSP or PageRank's damping factor.
+type Param struct {
+	Name string
+}
+
+func (*Param) term() {}
+func (*Param) expr() {}
+
+// String renders the parameter reference.
+func (p *Param) String() string { return "$" + p.Name }
+
+// AggKindName enumerates the aggregate spellings accepted in heads.
+var AggKindName = map[string]bool{"min": true, "max": true, "sum": true, "count": true}
+
+// Agg is an aggregate term in a rule head, e.g. min<D>, count<X> or the
+// keyed form sum<(Y,K)> where Y identifies the contributor whose latest
+// contribution K participates in the sum.
+type Agg struct {
+	Kind string // "min" | "max" | "sum" | "count"
+	// Contributor is set for the keyed forms: count<X> counts distinct
+	// X, sum<(Y,K)> sums K per distinct Y. It is nil for min/max.
+	Contributor Term
+	// Value is the aggregated expression: the minimized/maximized/
+	// summed term. For count it is nil (each contributor counts 1).
+	Value Term
+}
+
+func (*Agg) term() {}
+
+// String renders the aggregate.
+func (a *Agg) String() string {
+	switch {
+	case a.Kind == "count":
+		return fmt.Sprintf("count<%s>", a.Contributor)
+	case a.Contributor != nil:
+		return fmt.Sprintf("%s<(%s,%s)>", a.Kind, a.Contributor, a.Value)
+	default:
+		return fmt.Sprintf("%s<%s>", a.Kind, a.Value)
+	}
+}
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+// String renders the operator.
+func (op ArithOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	default:
+		return "?"
+	}
+}
+
+// Expr is an arithmetic expression over variables, literals and
+// parameters.
+type Expr interface {
+	fmt.Stringer
+	expr()
+}
+
+// Bin is a binary arithmetic expression.
+type Bin struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+func (*Bin) expr() {}
+
+// String renders the expression fully parenthesized.
+func (b *Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Vars appends the variables referenced by e to dst.
+func Vars(e Expr, dst []string) []string {
+	switch x := e.(type) {
+	case *Var:
+		return append(dst, x.Name)
+	case *Bin:
+		return Vars(x.R, Vars(x.L, dst))
+	default:
+		return dst
+	}
+}
+
+// HeadAgg returns the aggregate term of the atom along with its
+// argument position, or nil when the head carries no aggregate.
+func (a *Atom) HeadAgg() (*Agg, int) {
+	for i, t := range a.Args {
+		if g, ok := t.(*Agg); ok {
+			return g, i
+		}
+	}
+	return nil, -1
+}

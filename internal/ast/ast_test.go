@@ -1,0 +1,148 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPositionString(t *testing.T) {
+	p := Position{Line: 3, Col: 14}
+	if p.String() != "3:14" {
+		t.Fatalf("pos = %q", p)
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	a := &Atom{Pred: "arc", Args: []Term{&Var{Name: "X"}, &Num{Int: 7}}}
+	if a.String() != "arc(X, 7)" {
+		t.Fatalf("atom = %q", a)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := &Rule{
+		Head: &Atom{Pred: "tc", Args: []Term{&Var{Name: "X"}, &Var{Name: "Y"}}},
+		Body: []Literal{
+			&Atom{Pred: "tc", Args: []Term{&Var{Name: "X"}, &Var{Name: "Z"}}},
+			&Atom{Pred: "arc", Args: []Term{&Var{Name: "Z"}, &Var{Name: "Y"}}},
+		},
+	}
+	if r.String() != "tc(X, Y) :- tc(X, Z), arc(Z, Y)." {
+		t.Fatalf("rule = %q", r)
+	}
+	fact := &Rule{Head: &Atom{Pred: "arc", Args: []Term{&Num{Int: 1}, &Num{Int: 2}}}}
+	if fact.String() != "arc(1, 2)." || !fact.IsFact() {
+		t.Fatalf("fact = %q", fact)
+	}
+}
+
+func TestAggString(t *testing.T) {
+	min := &Agg{Kind: "min", Value: &Var{Name: "D"}}
+	if min.String() != "min<D>" {
+		t.Fatalf("min = %q", min)
+	}
+	cnt := &Agg{Kind: "count", Contributor: &Var{Name: "X"}}
+	if cnt.String() != "count<X>" {
+		t.Fatalf("count = %q", cnt)
+	}
+	sum := &Agg{Kind: "sum", Contributor: &Var{Name: "Y"}, Value: &Var{Name: "K"}}
+	if sum.String() != "sum<(Y,K)>" {
+		t.Fatalf("sum = %q", sum)
+	}
+}
+
+func TestConditionAndExprString(t *testing.T) {
+	c := &Condition{
+		Op: Ge,
+		L:  &Var{Name: "N"},
+		R:  &Bin{Op: Add, L: &Num{Int: 1}, R: &Param{Name: "k"}},
+	}
+	if c.String() != "N >= (1 + $k)" {
+		t.Fatalf("cond = %q", c)
+	}
+	neg := &Negation{Atom: &Atom{Pred: "tc", Args: []Term{&Var{Name: "X"}}}}
+	if neg.String() != "!tc(X)" {
+		t.Fatalf("neg = %q", neg)
+	}
+	if (&Str{Val: "a\"b"}).String() != `"a\"b"` {
+		t.Fatalf("str = %q", &Str{Val: `a"b`})
+	}
+	f := &Num{IsFloat: true, Float: 2.5}
+	if f.String() != "2.5" {
+		t.Fatalf("float = %q", f)
+	}
+}
+
+func TestCmpOpAndArithOpNames(t *testing.T) {
+	ops := map[string]string{
+		Eq.String(): "=", Ne.String(): "!=", Lt.String(): "<",
+		Le.String(): "<=", Gt.String(): ">", Ge.String(): ">=",
+	}
+	for got, want := range ops {
+		if got != want {
+			t.Fatalf("cmp op %q != %q", got, want)
+		}
+	}
+	if Add.String() != "+" || Sub.String() != "-" || Mul.String() != "*" || Div.String() != "/" {
+		t.Fatal("arith op names")
+	}
+}
+
+func TestVarsCollection(t *testing.T) {
+	e := &Bin{Op: Mul,
+		L: &Bin{Op: Add, L: &Var{Name: "A"}, R: &Var{Name: "B"}},
+		R: &Var{Name: "C"},
+	}
+	vs := Vars(e, nil)
+	if len(vs) != 3 || vs[0] != "A" || vs[1] != "B" || vs[2] != "C" {
+		t.Fatalf("vars = %v", vs)
+	}
+	if len(Vars(&Num{Int: 1}, nil)) != 0 {
+		t.Fatal("literal has no vars")
+	}
+}
+
+func TestHeadAgg(t *testing.T) {
+	h := &Atom{Pred: "cc2", Args: []Term{
+		&Var{Name: "Y"},
+		&Agg{Kind: "min", Value: &Var{Name: "Z"}},
+	}}
+	agg, pos := h.HeadAgg()
+	if agg == nil || pos != 1 || agg.Kind != "min" {
+		t.Fatalf("agg = %v at %d", agg, pos)
+	}
+	plain := &Atom{Pred: "tc", Args: []Term{&Var{Name: "X"}}}
+	if agg, pos := plain.HeadAgg(); agg != nil || pos != -1 {
+		t.Fatal("plain head has no aggregate")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := &Program{
+		Decls: []*Decl{{Name: "arc", Cols: []ColDecl{{Name: "x", Type: "int"}, {Name: "y", Type: "int"}}}},
+		Rules: []*Rule{{Head: &Atom{Pred: "p", Args: []Term{&Num{Int: 1}}}}},
+	}
+	out := p.String()
+	if !strings.Contains(out, ".decl arc(x:int, y:int)") || !strings.Contains(out, "p(1).") {
+		t.Fatalf("program = %q", out)
+	}
+	if p.DeclFor("arc") == nil || p.DeclFor("zzz") != nil {
+		t.Fatal("DeclFor")
+	}
+}
+
+func TestRuleAtoms(t *testing.T) {
+	r := &Rule{
+		Head: &Atom{Pred: "p", Args: []Term{&Var{Name: "X"}}},
+		Body: []Literal{
+			&Atom{Pred: "a", Args: []Term{&Var{Name: "X"}}},
+			&Condition{Op: Lt, L: &Var{Name: "X"}, R: &Num{Int: 5}},
+			&Negation{Atom: &Atom{Pred: "b", Args: []Term{&Var{Name: "X"}}}},
+			&Atom{Pred: "c", Args: []Term{&Var{Name: "X"}}},
+		},
+	}
+	atoms := r.Atoms()
+	if len(atoms) != 2 || atoms[0].Pred != "a" || atoms[1].Pred != "c" {
+		t.Fatalf("atoms = %v", atoms)
+	}
+}

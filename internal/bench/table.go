@@ -1,0 +1,77 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§7) on scaled datasets: Table 2 (end-to-end engine
+// comparison), Table 3 (APSP partitioned vs broadcast), Table 4
+// (optimization ablation), Figure 1 (SSSP engine comparison), Figure 3
+// (coordination worked example, simulated), Figure 8 (coordination
+// strategies), Figure 9(a) (thread scale-up, real + simulated) and
+// Figure 9(b) (data scale-up). Baseline systems are represented by the
+// architectural mode the paper credits for their behaviour — see
+// DESIGN.md §5 for the substitution table.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment: a titled grid plus footnotes.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// cell formats one measurement.
+func cell(seconds float64, note string) string {
+	if note != "" {
+		return note
+	}
+	switch {
+	case seconds < 0.01:
+		return fmt.Sprintf("%.4fs", seconds)
+	case seconds < 1:
+		return fmt.Sprintf("%.3fs", seconds)
+	default:
+		return fmt.Sprintf("%.2fs", seconds)
+	}
+}

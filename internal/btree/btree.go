@@ -1,0 +1,362 @@
+// Package btree implements the in-memory B+-tree used to index
+// recursive relations during semi-naive evaluation (paper §3, §6.2).
+//
+// Keys are composite tuples ordered column-wise according to the column
+// types supplied at construction; every value lives in a leaf and the
+// leaves are chained for ordered range scans. The tree additionally
+// stores a 64-bit payload per key, which the engine uses either as a row
+// id or, for aggregate relations, as the current aggregate value so that
+// merges are resolved by a single index lookup (§6.2.1).
+package btree
+
+import "repro/internal/storage"
+
+// degree is the branching factor: every node except the root holds
+// between degree-1 and 2*degree-1 keys.
+const degree = 16
+
+const (
+	maxKeys = 2*degree - 1
+	minKeys = degree - 1
+)
+
+// Tree is a B+-tree keyed by composite value tuples.
+type Tree struct {
+	types []storage.Type
+	root  *node
+	size  int
+}
+
+type node struct {
+	leaf     bool
+	keys     []storage.Tuple
+	vals     []storage.Value // leaves only, parallel to keys
+	children []*node         // internal nodes only, len(keys)+1
+	next     *node           // leaf chain
+}
+
+// New returns an empty tree whose keys are tuples typed column-wise by
+// types.
+func New(types []storage.Type) *Tree {
+	return &Tree{
+		types: types,
+		root:  &node{leaf: true},
+	}
+}
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return t.size }
+
+// compare orders two composite keys lexicographically. A shorter key
+// that is a prefix of a longer one sorts first, which lets prefix scans
+// use a partial key as an inclusive lower bound.
+func (t *Tree) compare(a, b storage.Tuple) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		ty := storage.TInt
+		if i < len(t.types) {
+			ty = t.types[i]
+		}
+		if c := storage.Compare(a[i], b[i], ty); c != 0 {
+			return c
+		}
+	}
+	return len(a) - len(b)
+}
+
+// search returns the first index i in n.keys with keys[i] >= key, and
+// whether an exact match sits at i.
+func (t *Tree) search(n *node, key storage.Tuple) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.compare(n.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && t.compare(n.keys[lo], key) == 0
+}
+
+// Get returns the payload stored under key.
+func (t *Tree) Get(key storage.Tuple) (storage.Value, bool) {
+	n := t.root
+	for !n.leaf {
+		i, exact := t.search(n, key)
+		if exact {
+			i++ // internal separator equal to key routes right
+		}
+		n = n.children[i]
+	}
+	i, exact := t.search(n, key)
+	if !exact {
+		return 0, false
+	}
+	return n.vals[i], true
+}
+
+// Insert stores val under key, replacing any previous payload. It
+// returns the previous payload and whether the key already existed.
+func (t *Tree) Insert(key storage.Tuple, val storage.Value) (storage.Value, bool) {
+	prev, existed := t.insert(t.root, key, val)
+	if len(t.root.keys) > maxKeys {
+		left := t.root
+		sep, right := t.split(left)
+		t.root = &node{
+			keys:     []storage.Tuple{sep},
+			children: []*node{left, right},
+		}
+	}
+	if !existed {
+		t.size++
+	}
+	return prev, existed
+}
+
+// Update applies fn to the payload under key, inserting fn(zero, false)
+// when absent. It reports whether the stored payload changed and
+// returns the resulting payload. This is the one-lookup merge path used
+// for aggregates in recursion.
+func (t *Tree) Update(key storage.Tuple, fn func(cur storage.Value, exists bool) storage.Value) (storage.Value, bool) {
+	n := t.root
+	for !n.leaf {
+		i, exact := t.search(n, key)
+		if exact {
+			i++
+		}
+		n = n.children[i]
+	}
+	i, exact := t.search(n, key)
+	if exact {
+		next := fn(n.vals[i], true)
+		changed := next != n.vals[i]
+		n.vals[i] = next
+		return next, changed
+	}
+	next := fn(0, false)
+	t.Insert(key.Clone(), next)
+	return next, true
+}
+
+// insert descends to the proper leaf, splitting full children on the
+// way back up.
+func (t *Tree) insert(n *node, key storage.Tuple, val storage.Value) (storage.Value, bool) {
+	if n.leaf {
+		i, exact := t.search(n, key)
+		if exact {
+			prev := n.vals[i]
+			n.vals[i] = val
+			return prev, true
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, 0)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		return 0, false
+	}
+	i, exact := t.search(n, key)
+	if exact {
+		i++
+	}
+	prev, existed := t.insert(n.children[i], key, val)
+	if len(n.children[i].keys) > maxKeys {
+		sep, right := t.split(n.children[i])
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = sep
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = right
+	}
+	return prev, existed
+}
+
+// split divides an overfull node, returning the separator key and the
+// new right sibling.
+func (t *Tree) split(n *node) (storage.Tuple, *node) {
+	mid := len(n.keys) / 2
+	right := &node{leaf: n.leaf}
+	if n.leaf {
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		right.next = n.next
+		n.next = right
+		return right.keys[0], right
+	}
+	sep := n.keys[mid]
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, right
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(key storage.Tuple) bool {
+	deleted := t.delete(t.root, key)
+	if !t.root.leaf && len(t.root.keys) == 0 {
+		t.root = t.root.children[0]
+	}
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (t *Tree) delete(n *node, key storage.Tuple) bool {
+	if n.leaf {
+		i, exact := t.search(n, key)
+		if !exact {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return true
+	}
+	i, exact := t.search(n, key)
+	if exact {
+		i++
+	}
+	deleted := t.delete(n.children[i], key)
+	if len(n.children[i].keys) < minKeys {
+		t.rebalance(n, i)
+	}
+	return deleted
+}
+
+// rebalance restores the occupancy invariant of n.children[i] by
+// borrowing from a sibling or merging with one.
+func (t *Tree) rebalance(n *node, i int) {
+	child := n.children[i]
+	// Borrow from the left sibling when it can spare a key.
+	if i > 0 && len(n.children[i-1].keys) > minKeys {
+		left := n.children[i-1]
+		if child.leaf {
+			last := len(left.keys) - 1
+			child.keys = append([]storage.Tuple{left.keys[last]}, child.keys...)
+			child.vals = append([]storage.Value{left.vals[last]}, child.vals...)
+			left.keys = left.keys[:last]
+			left.vals = left.vals[:last]
+			n.keys[i-1] = child.keys[0]
+		} else {
+			last := len(left.keys) - 1
+			child.keys = append([]storage.Tuple{n.keys[i-1]}, child.keys...)
+			n.keys[i-1] = left.keys[last]
+			child.children = append([]*node{left.children[last+1]}, child.children...)
+			left.keys = left.keys[:last]
+			left.children = left.children[:last+1]
+		}
+		return
+	}
+	// Borrow from the right sibling.
+	if i < len(n.children)-1 && len(n.children[i+1].keys) > minKeys {
+		right := n.children[i+1]
+		if child.leaf {
+			child.keys = append(child.keys, right.keys[0])
+			child.vals = append(child.vals, right.vals[0])
+			right.keys = right.keys[1:]
+			right.vals = right.vals[1:]
+			n.keys[i] = right.keys[0]
+		} else {
+			child.keys = append(child.keys, n.keys[i])
+			n.keys[i] = right.keys[0]
+			child.children = append(child.children, right.children[0])
+			right.keys = right.keys[1:]
+			right.children = right.children[1:]
+		}
+		return
+	}
+	// Merge with a sibling. Normalize so we merge children[i] into
+	// children[i-1].
+	if i == 0 {
+		i = 1
+	}
+	left, right := n.children[i-1], n.children[i]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[i-1])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i-1], n.keys[i:]...)
+	n.children = append(n.children[:i], n.children[i+1:]...)
+}
+
+// Ascend visits every key/payload pair in key order until fn returns
+// false.
+func (t *Tree) Ascend(fn func(key storage.Tuple, val storage.Value) bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil {
+		for i := range n.keys {
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// AscendRange visits keys in [lo, hi) in order; a nil bound is
+// unbounded on that side.
+func (t *Tree) AscendRange(lo, hi storage.Tuple, fn func(key storage.Tuple, val storage.Value) bool) {
+	n := t.root
+	if lo == nil {
+		for !n.leaf {
+			n = n.children[0]
+		}
+	} else {
+		for !n.leaf {
+			i, exact := t.search(n, lo)
+			if exact {
+				i++
+			}
+			n = n.children[i]
+		}
+	}
+	start := 0
+	if lo != nil {
+		start, _ = t.search(n, lo)
+	}
+	for n != nil {
+		for i := start; i < len(n.keys); i++ {
+			if hi != nil && t.compare(n.keys[i], hi) >= 0 {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		start = 0
+		n = n.next
+	}
+}
+
+// AscendPrefix visits every key whose leading columns equal prefix.
+func (t *Tree) AscendPrefix(prefix storage.Tuple, fn func(key storage.Tuple, val storage.Value) bool) {
+	t.AscendRange(prefix, nil, func(key storage.Tuple, val storage.Value) bool {
+		for i := range prefix {
+			ty := storage.TInt
+			if i < len(t.types) {
+				ty = t.types[i]
+			}
+			if storage.Compare(key[i], prefix[i], ty) != 0 {
+				return false
+			}
+		}
+		return fn(key, val)
+	})
+}

@@ -1,0 +1,276 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func k1(v int64) storage.Tuple { return storage.Tuple{storage.IntVal(v)} }
+
+func intTree() *Tree { return New([]storage.Type{storage.TInt}) }
+
+func TestInsertGet(t *testing.T) {
+	tr := intTree()
+	for i := int64(0); i < 1000; i++ {
+		tr.Insert(k1(i*7%1000), storage.IntVal(i))
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", tr.Len())
+	}
+	for i := int64(0); i < 1000; i++ {
+		if _, ok := tr.Get(k1(i)); !ok {
+			t.Fatalf("missing key %d", i)
+		}
+	}
+	if _, ok := tr.Get(k1(1000)); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestInsertReplaces(t *testing.T) {
+	tr := intTree()
+	if _, existed := tr.Insert(k1(5), storage.IntVal(1)); existed {
+		t.Fatal("fresh key reported as existing")
+	}
+	prev, existed := tr.Insert(k1(5), storage.IntVal(2))
+	if !existed || prev.Int() != 1 {
+		t.Fatalf("replace = (%d,%v)", prev.Int(), existed)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after replace", tr.Len())
+	}
+	if v, _ := tr.Get(k1(5)); v.Int() != 2 {
+		t.Fatal("replacement not visible")
+	}
+}
+
+func TestAscendOrdered(t *testing.T) {
+	tr := intTree()
+	perm := rand.New(rand.NewSource(1)).Perm(500)
+	for _, p := range perm {
+		tr.Insert(k1(int64(p)), storage.IntVal(int64(p)))
+	}
+	var got []int64
+	tr.Ascend(func(key storage.Tuple, val storage.Value) bool {
+		got = append(got, key[0].Int())
+		return true
+	})
+	if len(got) != 500 {
+		t.Fatalf("visited %d keys", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("Ascend out of order")
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := intTree()
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(k1(i), storage.IntVal(i))
+	}
+	var got []int64
+	tr.AscendRange(k1(10), k1(20), func(key storage.Tuple, _ storage.Value) bool {
+		got = append(got, key[0].Int())
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("range [10,20) = %v", got)
+	}
+	// Unbounded high end.
+	n := 0
+	tr.AscendRange(k1(95), nil, func(storage.Tuple, storage.Value) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("range [95,∞) visited %d", n)
+	}
+}
+
+func TestAscendPrefix(t *testing.T) {
+	tr := New([]storage.Type{storage.TInt, storage.TInt})
+	for a := int64(0); a < 10; a++ {
+		for b := int64(0); b < 10; b++ {
+			tr.Insert(storage.Tuple{storage.IntVal(a), storage.IntVal(b)}, storage.IntVal(a*10+b))
+		}
+	}
+	n := 0
+	tr.AscendPrefix(k1(4), func(key storage.Tuple, _ storage.Value) bool {
+		if key[0].Int() != 4 {
+			t.Fatalf("prefix scan leaked key %v", key)
+		}
+		n++
+		return true
+	})
+	if n != 10 {
+		t.Fatalf("prefix scan visited %d, want 10", n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := intTree()
+	const n = 2000
+	for i := int64(0); i < n; i++ {
+		tr.Insert(k1(i), storage.IntVal(i))
+	}
+	// Delete the odd keys.
+	for i := int64(1); i < n; i += 2 {
+		if !tr.Delete(k1(i)) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if tr.Delete(k1(1)) {
+		t.Fatal("double delete should fail")
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
+	}
+	for i := int64(0); i < n; i++ {
+		_, ok := tr.Get(k1(i))
+		if want := i%2 == 0; ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", i, ok, want)
+		}
+	}
+	// Order must survive rebalancing.
+	prev := int64(-1)
+	tr.Ascend(func(key storage.Tuple, _ storage.Value) bool {
+		if key[0].Int() <= prev {
+			t.Fatalf("order violated: %d after %d", key[0].Int(), prev)
+		}
+		prev = key[0].Int()
+		return true
+	})
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := intTree()
+	perm := rand.New(rand.NewSource(7)).Perm(1500)
+	for _, p := range perm {
+		tr.Insert(k1(int64(p)), storage.IntVal(int64(p)))
+	}
+	perm2 := rand.New(rand.NewSource(8)).Perm(1500)
+	for _, p := range perm2 {
+		if !tr.Delete(k1(int64(p))) {
+			t.Fatalf("Delete(%d) failed", p)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	n := 0
+	tr.Ascend(func(storage.Tuple, storage.Value) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("Ascend visited %d keys in an empty tree", n)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tr := intTree()
+	v, changed := tr.Update(k1(1), func(cur storage.Value, exists bool) storage.Value {
+		if exists {
+			t.Fatal("first update should see absent key")
+		}
+		return storage.IntVal(10)
+	})
+	if !changed || v.Int() != 10 {
+		t.Fatalf("update insert = (%d,%v)", v.Int(), changed)
+	}
+	// Monotone min-style merge: keep the smaller value.
+	v, changed = tr.Update(k1(1), func(cur storage.Value, exists bool) storage.Value {
+		if !exists || cur.Int() != 10 {
+			t.Fatal("second update should see 10")
+		}
+		return storage.IntVal(3)
+	})
+	if !changed || v.Int() != 3 {
+		t.Fatal("min merge should change to 3")
+	}
+	_, changed = tr.Update(k1(1), func(cur storage.Value, exists bool) storage.Value { return cur })
+	if changed {
+		t.Fatal("identity update must report unchanged")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestCompositeKeysOrderLexicographically(t *testing.T) {
+	tr := New([]storage.Type{storage.TInt, storage.TFloat})
+	keys := []storage.Tuple{
+		{storage.IntVal(2), storage.FloatVal(0.1)},
+		{storage.IntVal(1), storage.FloatVal(9.9)},
+		{storage.IntVal(1), storage.FloatVal(0.5)},
+		{storage.IntVal(2), storage.FloatVal(0.05)},
+	}
+	for i, k := range keys {
+		tr.Insert(k, storage.IntVal(int64(i)))
+	}
+	var got []storage.Tuple
+	tr.Ascend(func(k storage.Tuple, _ storage.Value) bool { got = append(got, k); return true })
+	want := [][2]float64{{1, 0.5}, {1, 9.9}, {2, 0.05}, {2, 0.1}}
+	for i, w := range want {
+		if got[i][0].Int() != int64(w[0]) || got[i][1].Float() != w[1] {
+			t.Fatalf("position %d = (%d,%g), want %v", i, got[i][0].Int(), got[i][1].Float(), w)
+		}
+	}
+}
+
+// Property: tree contents always match a map model under a random
+// sequence of inserts and deletes.
+func TestTreeMatchesMapModel(t *testing.T) {
+	type op struct {
+		Key    int16
+		Val    int32
+		Delete bool
+	}
+	f := func(ops []op) bool {
+		tr := intTree()
+		model := map[int16]int32{}
+		for _, o := range ops {
+			if o.Delete {
+				_, inModel := model[o.Key]
+				delete(model, o.Key)
+				if tr.Delete(k1(int64(o.Key))) != inModel {
+					return false
+				}
+			} else {
+				model[o.Key] = o.Val
+				tr.Insert(k1(int64(o.Key)), storage.IntVal(int64(o.Val)))
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := tr.Get(k1(int64(k)))
+			if !ok || got.Int() != int64(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	tr := intTree()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(k1(int64(i)), storage.IntVal(int64(i)))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := intTree()
+	for i := int64(0); i < 100000; i++ {
+		tr.Insert(k1(i), storage.IntVal(i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(k1(int64(i) % 100000))
+	}
+}

@@ -1,0 +1,191 @@
+// Package coord provides the coordination primitives behind the three
+// parallel evaluation strategies the paper compares (§4): the reusable
+// barrier of the Global (BSP) strategy, the bounded-staleness clock of
+// SSP, and the asynchronous global-fixpoint detector used by SSP and
+// DWS (§6.1: all workers inactive and every produced tuple consumed).
+package coord
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Kind selects a coordination strategy.
+type Kind uint8
+
+const (
+	// Global coordinates with a barrier after every global iteration
+	// (the DeALS-MC scheme, Algorithm 1).
+	Global Kind = iota
+	// SSP lets fast workers run up to Slack local iterations ahead of
+	// the slowest active worker (the stale-synchronous scheme of [14]).
+	SSP
+	// DWS is the paper's Dynamic Weight-based Strategy: no global
+	// coordination, per-worker (ω, τ) wait decisions from queueing
+	// statistics (Algorithm 2).
+	DWS
+)
+
+// String names the strategy as used in benchmark output.
+func (k Kind) String() string {
+	switch k {
+	case Global:
+		return "global"
+	case SSP:
+		return "ssp"
+	case DWS:
+		return "dws"
+	default:
+		return "unknown"
+	}
+}
+
+// Barrier is a reusable n-party barrier with a per-round OR-reduction:
+// Wait returns the disjunction of every participant's flag for the
+// round. The Global strategy uses the flag to agree on "someone still
+// has a delta".
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+	flag  bool
+	out   bool
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n participants arrive and returns the OR of
+// their flags.
+func (b *Barrier) Wait(flag bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	if flag {
+		b.flag = true
+	}
+	b.count++
+	if b.count == b.n {
+		b.out = b.flag
+		b.flag = false
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.out
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return b.out
+}
+
+// Detector implements the asynchronous termination check of §6.1: a
+// global produced-tuple counter, per-worker consumption folded into one
+// consumed counter, and an inactive-worker count. The global fixpoint
+// is reached when every worker is inactive and produced == consumed.
+type Detector struct {
+	n        int32
+	produced atomic.Int64
+	consumed atomic.Int64
+	inactive atomic.Int32
+	done     atomic.Bool
+}
+
+// NewDetector returns a detector for n workers, all initially active.
+func NewDetector(n int) *Detector {
+	return &Detector{n: int32(n)}
+}
+
+// Produce records k tuples sent into some worker's buffer. It must be
+// called before the tuples are enqueued so that produced ≥ consumed
+// always holds for in-flight work.
+func (d *Detector) Produce(k int) { d.produced.Add(int64(k)) }
+
+// Consume records k tuples drained from buffers.
+func (d *Detector) Consume(k int) { d.consumed.Add(int64(k)) }
+
+// SetInactive marks one worker idle (empty delta, empty buffers).
+func (d *Detector) SetInactive() { d.inactive.Add(1) }
+
+// SetActive marks an idle worker busy again.
+func (d *Detector) SetActive() { d.inactive.Add(-1) }
+
+// TryFinish declares the global fixpoint if every worker is inactive
+// and no tuple is in flight; it returns the final done state.
+func (d *Detector) TryFinish() bool {
+	if d.done.Load() {
+		return true
+	}
+	if d.inactive.Load() == d.n && d.produced.Load() == d.consumed.Load() {
+		// Re-check inactivity after reading the counters: a worker
+		// reactivated in between would have consumed first, keeping
+		// the counters unequal on the next call.
+		if d.inactive.Load() == d.n {
+			d.done.Store(true)
+			return true
+		}
+	}
+	return false
+}
+
+// Done reports whether the global fixpoint has been declared.
+func (d *Detector) Done() bool { return d.done.Load() }
+
+// Produced returns the cumulative produced-tuple count (for stats).
+func (d *Detector) Produced() int64 { return d.produced.Load() }
+
+// Clock tracks per-worker local iteration counts for the SSP bound:
+// worker w may start its next iteration only while it is at most Slack
+// iterations ahead of the slowest non-parked worker. Parked workers
+// (local fixpoint, waiting for input) do not hold others back.
+type Clock struct {
+	slack  int64
+	iters  []atomic.Int64
+	parked []atomic.Bool
+}
+
+// NewClock returns a clock for n workers with the given slack s.
+func NewClock(n, slack int) *Clock {
+	return &Clock{
+		slack:  int64(slack),
+		iters:  make([]atomic.Int64, n),
+		parked: make([]atomic.Bool, n),
+	}
+}
+
+// Advance records a completed local iteration of worker w.
+func (c *Clock) Advance(w int) { c.iters[w].Add(1) }
+
+// Iter returns worker w's local iteration count.
+func (c *Clock) Iter(w int) int64 { return c.iters[w].Load() }
+
+// Park marks worker w as waiting for input.
+func (c *Clock) Park(w int) { c.parked[w].Store(true) }
+
+// Unpark marks worker w runnable.
+func (c *Clock) Unpark(w int) { c.parked[w].Store(false) }
+
+// MayProceed reports whether worker w is within the staleness bound.
+func (c *Clock) MayProceed(w int) bool {
+	my := c.iters[w].Load()
+	min := int64(-1)
+	for i := range c.iters {
+		if i == w || c.parked[i].Load() {
+			continue
+		}
+		it := c.iters[i].Load()
+		if min < 0 || it < min {
+			min = it
+		}
+	}
+	if min < 0 {
+		return true // everyone else is parked
+	}
+	return my-min <= c.slack
+}

@@ -1,0 +1,177 @@
+package coord
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const n = 4
+	b := NewBarrier(n)
+	var phase atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				if int(phase.Load()) != round {
+					t.Errorf("phase skew: %d vs %d", phase.Load(), round)
+					return
+				}
+				if b.Wait(false) {
+					t.Error("flag OR should be false")
+					return
+				}
+				// One winner advances the phase; the barrier below
+				// makes the update visible to all before re-checking.
+				phase.CompareAndSwap(int32(round), int32(round+1))
+				b.Wait(false)
+			}
+		}()
+	}
+	wg.Wait()
+	if phase.Load() != 50 {
+		t.Fatalf("phase = %d", phase.Load())
+	}
+}
+
+func TestBarrierFlagOR(t *testing.T) {
+	const n = 3
+	b := NewBarrier(n)
+	var wg sync.WaitGroup
+	results := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			results[id] = b.Wait(id == 1) // only worker 1 raises the flag
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if !r {
+			t.Fatalf("worker %d missed the OR flag", i)
+		}
+	}
+	// The flag must reset for the next round.
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			results[id] = b.Wait(false)
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r {
+			t.Fatalf("worker %d saw a stale flag", i)
+		}
+	}
+}
+
+func TestDetectorBasicLifecycle(t *testing.T) {
+	d := NewDetector(2)
+	if d.TryFinish() {
+		t.Fatal("active workers should block termination")
+	}
+	d.Produce(5)
+	d.SetInactive()
+	d.SetInactive()
+	if d.TryFinish() {
+		t.Fatal("in-flight tuples should block termination")
+	}
+	d.Consume(5)
+	if !d.TryFinish() || !d.Done() {
+		t.Fatal("all inactive + drained should terminate")
+	}
+}
+
+func TestDetectorReactivation(t *testing.T) {
+	d := NewDetector(2)
+	d.SetInactive()
+	d.Produce(1)
+	// Worker 2 wakes up to process the tuple.
+	d.SetInactive()
+	d.SetActive()
+	d.Consume(1)
+	if d.TryFinish() {
+		t.Fatal("one active worker should block termination")
+	}
+	d.SetInactive()
+	if !d.TryFinish() {
+		t.Fatal("should terminate after final park")
+	}
+	if d.Produced() != 1 {
+		t.Fatalf("produced = %d", d.Produced())
+	}
+}
+
+func TestClockSlack(t *testing.T) {
+	c := NewClock(3, 2)
+	if !c.MayProceed(0) {
+		t.Fatal("fresh clock should allow everyone")
+	}
+	// Worker 0 races ahead.
+	c.Advance(0)
+	c.Advance(0)
+	if !c.MayProceed(0) {
+		t.Fatal("within slack")
+	}
+	c.Advance(0)
+	if c.MayProceed(0) {
+		t.Fatal("3 ahead with slack 2 must wait")
+	}
+	// Straggler catches up by one.
+	c.Advance(1)
+	c.Advance(2)
+	if !c.MayProceed(0) {
+		t.Fatal("should proceed after stragglers advance")
+	}
+	if c.Iter(0) != 3 {
+		t.Fatalf("iter = %d", c.Iter(0))
+	}
+}
+
+func TestClockIgnoresParked(t *testing.T) {
+	c := NewClock(2, 0)
+	c.Advance(0)
+	if c.MayProceed(0) {
+		t.Fatal("slack 0: one ahead must wait")
+	}
+	c.Park(1)
+	if !c.MayProceed(0) {
+		t.Fatal("parked straggler must not block")
+	}
+	c.Unpark(1)
+	if c.MayProceed(0) {
+		t.Fatal("unparked straggler blocks again")
+	}
+}
+
+func TestBarrierManyRoundsUnderContention(t *testing.T) {
+	const n = 8
+	b := NewBarrier(n)
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 200; r++ {
+				sum.Add(1)
+				b.Wait(false)
+			}
+		}()
+	}
+	wg.Wait()
+	if sum.Load() != n*200 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("barrier too slow")
+	}
+}

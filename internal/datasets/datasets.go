@@ -1,0 +1,258 @@
+// Package datasets generates the synthetic workloads of the paper's
+// evaluation (§7.1.1) deterministically from seeds: RMAT-n power-law
+// graphs, G-n uniform random graphs, Tree-h random trees, the N-n
+// bill-of-materials trees of the Delivery query, weighted variants for
+// SSSP/APSP, and scaled stand-ins for the four real-world graphs
+// (LiveJournal, Orkut, Arabic, Twitter) whose degree skew RMAT
+// reproduces at reduced size.
+package datasets
+
+import (
+	"math/rand"
+
+	"repro/internal/storage"
+)
+
+// Edge is one directed edge.
+type Edge struct{ Src, Dst int64 }
+
+// WEdge is one weighted directed edge.
+type WEdge struct {
+	Src, Dst, W int64
+}
+
+// EdgeTuples converts edges to arc(src, dst) tuples.
+func EdgeTuples(edges []Edge) []storage.Tuple {
+	out := make([]storage.Tuple, len(edges))
+	for i, e := range edges {
+		out[i] = storage.Tuple{storage.IntVal(e.Src), storage.IntVal(e.Dst)}
+	}
+	return out
+}
+
+// WEdgeTuples converts weighted edges to warc(src, dst, w) tuples.
+func WEdgeTuples(edges []WEdge) []storage.Tuple {
+	out := make([]storage.Tuple, len(edges))
+	for i, e := range edges {
+		out[i] = storage.Tuple{storage.IntVal(e.Src), storage.IntVal(e.Dst), storage.IntVal(e.W)}
+	}
+	return out
+}
+
+// Undirect doubles every edge into both directions.
+func Undirect(edges []Edge) []Edge {
+	out := make([]Edge, 0, 2*len(edges))
+	for _, e := range edges {
+		out = append(out, e, Edge{e.Dst, e.Src})
+	}
+	return out
+}
+
+// Weight attaches uniform random weights in [1, maxW] to edges.
+func Weight(edges []Edge, maxW int64, seed int64) []WEdge {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]WEdge, len(edges))
+	for i, e := range edges {
+		out[i] = WEdge{e.Src, e.Dst, 1 + rng.Int63n(maxW)}
+	}
+	return out
+}
+
+// RMAT generates an n-vertex, m-edge graph with the classic RMAT
+// quadrant probabilities (a=0.57, b=0.19, c=0.19, d=0.05), the
+// generator the paper uses for its RMAT-n datasets (10×n edges).
+func RMAT(n int64, m int, seed int64) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	// Round n up to a power of two for quadrant descent, then reject
+	// vertices outside [0, n).
+	levels := 0
+	for int64(1)<<levels < n {
+		levels++
+	}
+	edges := make([]Edge, 0, m)
+	seen := make(map[Edge]bool, m)
+	for len(edges) < m {
+		var src, dst int64
+		for l := 0; l < levels; l++ {
+			r := rng.Float64()
+			switch {
+			case r < 0.57:
+				// top-left: no bits
+			case r < 0.76:
+				dst |= 1 << l
+			case r < 0.95:
+				src |= 1 << l
+			default:
+				src |= 1 << l
+				dst |= 1 << l
+			}
+		}
+		if src >= n || dst >= n {
+			continue
+		}
+		e := Edge{src, dst}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		edges = append(edges, e)
+	}
+	return edges
+}
+
+// RMATn reproduces the paper's RMAT-n family: n vertices and 10×n
+// directed edges.
+func RMATn(n int64, seed int64) []Edge {
+	return RMAT(n, int(10*n), seed)
+}
+
+// Gnp generates an n-vertex uniform random graph with m edges sampled
+// without replacement — the G-10K dataset uses n=10000 and edge
+// probability 0.001, i.e. m ≈ n²/1000.
+func Gnp(n int64, m int, seed int64) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, m)
+	seen := make(map[Edge]bool, m)
+	for len(edges) < m {
+		e := Edge{rng.Int63n(n), rng.Int63n(n)}
+		if e.Src == e.Dst || seen[e] {
+			continue
+		}
+		seen[e] = true
+		edges = append(edges, e)
+	}
+	return edges
+}
+
+// G10K is the paper's G-10K dataset at a configurable scale: scale=1
+// gives 10,000 vertices with edge probability 0.001 (≈100k edges).
+func G10K(scale float64, seed int64) []Edge {
+	n := int64(10000 * scale)
+	if n < 16 {
+		n = 16
+	}
+	m := int(float64(n) * float64(n) * 0.001)
+	return Gnp(n, m, seed)
+}
+
+// Tree generates a random tree of the given height where every
+// non-leaf vertex has between minDeg and maxDeg children (Tree-11 uses
+// height 11 and degree 2..6). Edges point parent → child.
+func Tree(height, minDeg, maxDeg int, seed int64) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Edge
+	next := int64(1)
+	level := []int64{0}
+	for h := 0; h < height; h++ {
+		var nextLevel []int64
+		for _, p := range level {
+			deg := minDeg
+			if maxDeg > minDeg {
+				deg += rng.Intn(maxDeg - minDeg + 1)
+			}
+			for c := 0; c < deg; c++ {
+				edges = append(edges, Edge{p, next})
+				nextLevel = append(nextLevel, next)
+				next++
+			}
+		}
+		level = nextLevel
+	}
+	return edges
+}
+
+// BoM is a bill-of-materials instance for the Delivery query: assembly
+// edges assbl(part, subpart) and leaf delivery days basic(part, days).
+type BoM struct {
+	Assbl []storage.Tuple
+	Basic []storage.Tuple
+	Parts int64
+}
+
+// NTree generates the paper's N-n datasets: trees grown level by level
+// where each node has 5–10 children and each child becomes a leaf with
+// probability 20–60%, until about n vertices exist. Leaves get random
+// delivery days in [1, 100].
+func NTree(n int64, seed int64) BoM {
+	rng := rand.New(rand.NewSource(seed))
+	var bom BoM
+	next := int64(1)
+	frontier := []int64{0}
+	leaf := func(p int64) {
+		bom.Basic = append(bom.Basic, storage.Tuple{storage.IntVal(p), storage.IntVal(1 + rng.Int63n(100))})
+	}
+	for len(frontier) > 0 && next < n {
+		p := frontier[0]
+		frontier = frontier[1:]
+		kids := 5 + rng.Intn(6)
+		leafProb := 0.2 + 0.4*rng.Float64()
+		for c := 0; c < kids && next < n; c++ {
+			child := next
+			next++
+			bom.Assbl = append(bom.Assbl, storage.Tuple{storage.IntVal(p), storage.IntVal(child)})
+			if rng.Float64() < leafProb {
+				leaf(child)
+			} else {
+				frontier = append(frontier, child)
+			}
+		}
+	}
+	// Anything left on the frontier becomes a leaf so every part has a
+	// delivery time.
+	for _, p := range frontier {
+		leaf(p)
+	}
+	bom.Parts = next
+	return bom
+}
+
+// RealGraph describes a scaled stand-in for one of the paper's real
+// datasets.
+type RealGraph struct {
+	Name     string
+	Vertices int64
+	Edges    int
+}
+
+// The paper's real graphs, scaled down by the given factor. RMAT's
+// heavy-tail degree distribution stands in for the social/web-graph
+// skew that drives worker imbalance.
+func realGraph(name string, v int64, e int64, scale float64) RealGraph {
+	sv := int64(float64(v) * scale)
+	se := int(float64(e) * scale)
+	if sv < 64 {
+		sv = 64
+	}
+	if se < 256 {
+		se = 256
+	}
+	return RealGraph{Name: name, Vertices: sv, Edges: se}
+}
+
+// LiveJournalLike returns the scaled LiveJournal stand-in
+// (4,847,572 vertices / 68,993,773 edges at scale 1).
+func LiveJournalLike(scale float64) RealGraph {
+	return realGraph("livejournal", 4847572, 68993773, scale)
+}
+
+// OrkutLike returns the scaled Orkut stand-in (3,072,441 / 117,185,083).
+func OrkutLike(scale float64) RealGraph {
+	return realGraph("orkut", 3072441, 117185083, scale)
+}
+
+// ArabicLike returns the scaled Arabic-2005 stand-in
+// (22,744,080 / 639,999,458).
+func ArabicLike(scale float64) RealGraph {
+	return realGraph("arabic", 22744080, 639999458, scale)
+}
+
+// TwitterLike returns the scaled Twitter stand-in
+// (41,652,231 / 1,468,365,182).
+func TwitterLike(scale float64) RealGraph {
+	return realGraph("twitter", 41652231, 1468365182, scale)
+}
+
+// Generate materializes the stand-in's edges.
+func (g RealGraph) Generate(seed int64) []Edge {
+	return RMAT(g.Vertices, g.Edges, seed)
+}

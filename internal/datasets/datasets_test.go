@@ -1,0 +1,184 @@
+package datasets
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestRMATDeterministicAndSized(t *testing.T) {
+	a := RMAT(1024, 5000, 1)
+	b := RMAT(1024, 5000, 1)
+	if len(a) != 5000 || len(b) != 5000 {
+		t.Fatalf("sizes %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RMAT not deterministic for equal seeds")
+		}
+	}
+	c := RMAT(1024, 5000, 2)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+	for _, e := range a {
+		if e.Src < 0 || e.Src >= 1024 || e.Dst < 0 || e.Dst >= 1024 {
+			t.Fatalf("edge out of range: %v", e)
+		}
+	}
+}
+
+func TestRMATIsSkewed(t *testing.T) {
+	edges := RMATn(4096, 3)
+	deg := map[int64]int{}
+	for _, e := range edges {
+		deg[e.Src]++
+	}
+	var degs []int
+	for _, d := range deg {
+		degs = append(degs, d)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	// Power-law-ish: the top 1% of vertices should own far more than
+	// 1% of the edges.
+	top := 0
+	for i := 0; i < len(degs)/100+1; i++ {
+		top += degs[i]
+	}
+	if float64(top) < 0.05*float64(len(edges)) {
+		t.Fatalf("degree distribution too flat: top 1%% holds %d of %d", top, len(edges))
+	}
+}
+
+func TestGnp(t *testing.T) {
+	edges := Gnp(100, 500, 1)
+	if len(edges) != 500 {
+		t.Fatalf("m = %d", len(edges))
+	}
+	seen := map[Edge]bool{}
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			t.Fatal("self loop in Gnp")
+		}
+		if seen[e] {
+			t.Fatal("duplicate edge")
+		}
+		seen[e] = true
+	}
+	g := G10K(0.05, 1)
+	if len(g) == 0 {
+		t.Fatal("G10K empty")
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	edges := Tree(5, 2, 4, 1)
+	// A tree has exactly |V|-1 edges and no vertex has two parents.
+	parent := map[int64]int64{}
+	for _, e := range edges {
+		if p, ok := parent[e.Dst]; ok {
+			t.Fatalf("vertex %d has parents %d and %d", e.Dst, p, e.Src)
+		}
+		parent[e.Dst] = e.Src
+	}
+	if _, ok := parent[0]; ok {
+		t.Fatal("root has a parent")
+	}
+	// Depth of any leaf ≤ height.
+	depth := func(v int64) int {
+		d := 0
+		for v != 0 {
+			v = parent[v]
+			d++
+		}
+		return d
+	}
+	for v := range parent {
+		if depth(v) > 5 {
+			t.Fatalf("vertex %d deeper than height", v)
+		}
+	}
+}
+
+func TestNTree(t *testing.T) {
+	bom := NTree(2000, 1)
+	if bom.Parts < 1000 {
+		t.Fatalf("parts = %d", bom.Parts)
+	}
+	// Every assembled part is a parent; every basic part has days in
+	// [1,100]; internal and leaf sets are consistent: a part is either
+	// assembled from subparts or basic (leaves), and every part is
+	// reachable from the root.
+	hasChild := map[int64]bool{}
+	child := map[int64]bool{}
+	for _, t2 := range bom.Assbl {
+		hasChild[t2[0].Int()] = true
+		child[t2[1].Int()] = true
+	}
+	for _, b := range bom.Basic {
+		d := b[1].Int()
+		if d < 1 || d > 100 {
+			t.Fatalf("days = %d", d)
+		}
+		if hasChild[b[0].Int()] {
+			t.Fatalf("part %d is both assembled and basic", b[0].Int())
+		}
+	}
+	// Every part appearing as a child or parent that is not assembled
+	// must be basic.
+	basic := map[int64]bool{}
+	for _, b := range bom.Basic {
+		basic[b[0].Int()] = true
+	}
+	for c := range child {
+		if !hasChild[c] && !basic[c] {
+			t.Fatalf("leaf part %d has no basic delivery time", c)
+		}
+	}
+}
+
+func TestWeightAndUndirect(t *testing.T) {
+	edges := []Edge{{1, 2}, {3, 4}}
+	und := Undirect(edges)
+	if len(und) != 4 || und[1] != (Edge{2, 1}) {
+		t.Fatalf("undirect = %v", und)
+	}
+	w := Weight(edges, 10, 1)
+	for _, e := range w {
+		if e.W < 1 || e.W > 10 {
+			t.Fatalf("weight %d", e.W)
+		}
+	}
+	if len(EdgeTuples(edges)) != 2 || len(WEdgeTuples(w)) != 2 {
+		t.Fatal("tuple conversion length")
+	}
+}
+
+func TestRealGraphScaling(t *testing.T) {
+	lj := LiveJournalLike(0.001)
+	if lj.Name != "livejournal" || lj.Vertices <= 0 || lj.Edges <= 0 {
+		t.Fatalf("lj = %+v", lj)
+	}
+	full := LiveJournalLike(1)
+	if full.Vertices != 4847572 || full.Edges != 68993773 {
+		t.Fatalf("unscaled stats wrong: %+v", full)
+	}
+	// Tiny scales clamp to a minimum viable graph.
+	tiny := TwitterLike(1e-9)
+	if tiny.Vertices < 64 || tiny.Edges < 256 {
+		t.Fatalf("clamp failed: %+v", tiny)
+	}
+	edges := lj.Generate(1)
+	if len(edges) != lj.Edges {
+		t.Fatalf("generated %d of %d", len(edges), lj.Edges)
+	}
+	names := []string{OrkutLike(0.01).Name, ArabicLike(0.01).Name, TwitterLike(0.01).Name}
+	if names[0] != "orkut" || names[1] != "arabic" || names[2] != "twitter" {
+		t.Fatalf("names = %v", names)
+	}
+}

@@ -1,0 +1,373 @@
+// Package des is a discrete-event simulator of the three coordination
+// strategies (Global / SSP / DWS) over parallel semi-naive evaluation.
+// It exists because reproducing the paper's Figures 3, 8 and 9(a)
+// requires a 32-core machine: the simulator models per-worker iteration
+// cost, barrier waiting, bounded staleness and DWS's (ω, τ) decisions
+// on a virtual clock, so the *shape* of those figures — who waits,
+// who wins, how speedup scales with workers — can be regenerated on
+// any host. The DWS decisions reuse the same queueing-theory code
+// (internal/queueing) as the real engine.
+package des
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/coord"
+	"repro/internal/datasets"
+	"repro/internal/queueing"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Workers is the number of simulated workers.
+	Workers int
+	// Strategy selects Global, SSP or DWS.
+	Strategy coord.Kind
+	// Slack is the SSP staleness bound.
+	Slack int
+	// PerTuple is the service time per delta tuple (time units).
+	PerTuple float64
+	// IterOverhead is the fixed cost of a local iteration.
+	IterOverhead float64
+	// CoordCost is the per-round coordination cost of a Global barrier
+	// (index maintenance + exchange across all workers).
+	CoordCost float64
+	// MsgLatency is the buffer delivery latency between workers.
+	MsgLatency float64
+	// Speed scales each worker's cost (1 = nominal); shorter slices
+	// default to 1. Models stragglers/heterogeneous cores.
+	Speed []float64
+	// DWSMaxWait caps τ.
+	DWSMaxWait float64
+	// Owner optionally overrides the vertex → worker assignment
+	// (defaults to hash partitioning). Scenario tests use it to
+	// recreate the paper's Figure 3 layout.
+	Owner func(v int64) int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Slack <= 0 {
+		c.Slack = 1
+	}
+	if c.PerTuple <= 0 {
+		c.PerTuple = 1
+	}
+	if c.IterOverhead < 0 {
+		c.IterOverhead = 0
+	}
+	if c.CoordCost <= 0 {
+		c.CoordCost = 1
+	}
+	if c.MsgLatency < 0 {
+		c.MsgLatency = 0
+	}
+	if c.DWSMaxWait <= 0 {
+		c.DWSMaxWait = 8
+	}
+	return c
+}
+
+func (c Config) speed(w int) float64 {
+	if w < len(c.Speed) && c.Speed[w] > 0 {
+		return c.Speed[w]
+	}
+	return 1
+}
+
+// Result summarizes a simulated run.
+type Result struct {
+	// Time is the simulated makespan in time units.
+	Time float64
+	// Iterations counts local iterations per worker.
+	Iterations []int
+	// Waiting is per-worker idle/blocked time.
+	Waiting []float64
+	// Tuples counts delta tuples processed per worker.
+	Tuples []int
+}
+
+// update is one label-improvement message.
+type update struct {
+	vertex int64
+	label  int64
+	at     float64 // arrival time
+}
+
+// SimulateCC simulates min-label propagation (the CC query) over the
+// graph under the chosen strategy and returns the virtual makespan.
+// Vertices are hash-partitioned across workers; a worker's local
+// iteration relaxes the out-edges of its pending delta vertices.
+func SimulateCC(edges []datasets.Edge, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	n := cfg.Workers
+	owner := cfg.Owner
+	if owner == nil {
+		owner = func(v int64) int { return int(uint64(v*2654435761) % uint64(n)) }
+	}
+
+	adj := map[int64][]int64{}
+	vertices := map[int64]bool{}
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		vertices[e.Src] = true
+		vertices[e.Dst] = true
+	}
+	label := map[int64]int64{}
+
+	// Seed: every vertex starts labeled with itself at time 0.
+	inbox := make([][]update, n)
+	for v := range vertices {
+		inbox[owner(v)] = append(inbox[owner(v)], update{v, v, 0})
+	}
+
+	if cfg.Strategy == coord.Global {
+		return simulateGlobal(cfg, adj, label, inbox, owner)
+	}
+	return simulateAsync(cfg, adj, label, inbox, owner)
+}
+
+// simulateGlobal plays BSP rounds: every worker with a delta computes,
+// the round closes at the slowest worker plus the coordination cost,
+// and updates become visible in the next round (Algorithm 1). Deltas
+// coalesce per vertex within a round, as in the real engine.
+func simulateGlobal(cfg Config, adj map[int64][]int64, label map[int64]int64, inbox [][]update, owner func(int64) int) Result {
+	n := cfg.Workers
+	res := Result{Iterations: make([]int, n), Waiting: make([]float64, n), Tuples: make([]int, n)}
+	busyTime := make([]float64, n)
+	now := 0.0
+	for {
+		// Merge arrivals into coalesced per-worker delta vertex sets.
+		deltas := make([]map[int64]bool, n)
+		busy := false
+		for w := 0; w < n; w++ {
+			for _, u := range inbox[w] {
+				if cur, ok := label[u.vertex]; !ok || u.label < cur {
+					label[u.vertex] = u.label
+					if deltas[w] == nil {
+						deltas[w] = make(map[int64]bool)
+					}
+					deltas[w][u.vertex] = true
+				}
+			}
+			inbox[w] = nil
+			if len(deltas[w]) > 0 {
+				busy = true
+			}
+		}
+		if !busy {
+			break
+		}
+		roundEnd := now
+		next := make([][]update, n)
+		for w := 0; w < n; w++ {
+			if len(deltas[w]) == 0 {
+				continue
+			}
+			dur := (cfg.IterOverhead + cfg.PerTuple*float64(len(deltas[w]))) * cfg.speed(w)
+			finish := now + dur
+			busyTime[w] += dur
+			res.Iterations[w]++
+			res.Tuples[w] += len(deltas[w])
+			for v := range deltas[w] {
+				lab := label[v]
+				for _, dst := range adj[v] {
+					if cur, ok := label[dst]; !ok || lab < cur {
+						next[owner(dst)] = append(next[owner(dst)], update{dst, lab, finish})
+					}
+				}
+			}
+			if finish > roundEnd {
+				roundEnd = finish
+			}
+		}
+		roundEnd += cfg.CoordCost
+		for w := 0; w < n; w++ {
+			inbox[w] = next[w]
+		}
+		now = roundEnd
+	}
+	res.Time = now
+	for w := 0; w < n; w++ {
+		res.Waiting[w] = now - busyTime[w]
+	}
+	return res
+}
+
+// event is a simulation event: a worker becomes ready to act.
+type event struct {
+	at     float64
+	worker int
+	seq    int
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int      { return len(q) }
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	x := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return x
+}
+
+// simulateAsync plays SSP and DWS on an event queue: workers run local
+// iterations independently, messages arrive with latency, SSP gates on
+// the staleness bound and DWS on its (ω, τ) decision. Pending deltas
+// coalesce per vertex, mirroring the real engine's per-group delta
+// coalescing.
+func simulateAsync(cfg Config, adj map[int64][]int64, label map[int64]int64, inbox [][]update, owner func(int64) int) Result {
+	n := cfg.Workers
+	res := Result{Iterations: make([]int, n), Waiting: make([]float64, n), Tuples: make([]int, n)}
+
+	freeAt := make([]float64, n)
+	iters := make([]int64, n)
+	busyTime := make([]float64, n)
+	arr := make([]*queueing.ArrivalTracker, n)
+	svc := make([]*queueing.ServiceTracker, n)
+	for w := 0; w < n; w++ {
+		arr[w] = &queueing.ArrivalTracker{}
+		svc[w] = &queueing.ServiceTracker{}
+	}
+
+	var q eventQueue
+	seq := 0
+	wake := func(w int, at float64) {
+		heap.Push(&q, event{at: at, worker: w, seq: seq})
+		seq++
+	}
+	for w := 0; w < n; w++ {
+		wake(w, 0)
+	}
+
+	// pending[w] is the coalesced set of delta vertices awaiting
+	// evaluation; the label map always holds each vertex's freshest
+	// value.
+	pending := make([]map[int64]bool, n)
+	for w := range pending {
+		pending[w] = make(map[int64]bool)
+	}
+	waitSpent := make([]float64, n) // cumulative DWS wait per decision
+
+	minActiveIter := func() int64 {
+		min := int64(math.MaxInt64)
+		any := false
+		for w := 0; w < n; w++ {
+			if len(inbox[w]) == 0 && len(pending[w]) == 0 {
+				continue // parked: locally fixpointed for now
+			}
+			any = true
+			if iters[w] < min {
+				min = iters[w]
+			}
+		}
+		if !any {
+			return math.MaxInt64
+		}
+		return min
+	}
+
+	makespan := 0.0
+	guard := 0
+	for q.Len() > 0 {
+		guard++
+		if guard > 50_000_000 {
+			break // safety valve; never hit by the benchmarks
+		}
+		ev := heap.Pop(&q).(event)
+		w := ev.worker
+		now := ev.at
+		if now < freeAt[w] {
+			wake(w, freeAt[w])
+			continue
+		}
+		// Move due arrivals through the label filter into pending.
+		var later []update
+		for _, u := range inbox[w] {
+			if u.at <= now {
+				if cur, ok := label[u.vertex]; !ok || u.label < cur {
+					label[u.vertex] = u.label
+					pending[w][u.vertex] = true
+				}
+			} else {
+				later = append(later, u)
+			}
+		}
+		inbox[w] = later
+		if len(pending[w]) == 0 {
+			next := math.Inf(1)
+			for _, u := range later {
+				if u.at < next {
+					next = u.at
+				}
+			}
+			if !math.IsInf(next, 1) {
+				wake(w, next)
+			}
+			continue
+		}
+
+		// Strategy gate.
+		switch cfg.Strategy {
+		case coord.SSP:
+			if iters[w]-minActiveIter() > int64(cfg.Slack) {
+				wake(w, now+cfg.PerTuple)
+				continue
+			}
+		case coord.DWS:
+			lambda, sa2 := arr[w].Lambda(), arr[w].SigmaA2()
+			d := queueing.Decide(lambda, sa2, svc[w].Mu(), svc[w].SigmaS2(), cfg.DWSMaxWait)
+			if d.Omega > 0 && len(pending[w]) < d.Omega && d.Tau > 0 &&
+				waitSpent[w]+d.Tau <= cfg.DWSMaxWait {
+				waitSpent[w] += d.Tau
+				wake(w, now+d.Tau)
+				continue
+			}
+		}
+		waitSpent[w] = 0
+
+		// Run the local iteration on the coalesced delta.
+		delta := pending[w]
+		pending[w] = make(map[int64]bool)
+		dur := (cfg.IterOverhead + cfg.PerTuple*float64(len(delta))) * cfg.speed(w)
+		finish := now + dur
+		busyTime[w] += dur
+		freeAt[w] = finish
+		iters[w]++
+		res.Iterations[w]++
+		res.Tuples[w] += len(delta)
+		svc[w].Record(len(delta), dur)
+		for v := range delta {
+			lab := label[v]
+			for _, dst := range adj[v] {
+				if cur, ok := label[dst]; !ok || lab < cur {
+					o := owner(dst)
+					at := finish + cfg.MsgLatency
+					inbox[o] = append(inbox[o], update{dst, lab, at})
+					arr[o].Record(1, int64(at*1e9))
+					wake(o, at)
+				}
+			}
+		}
+		if finish > makespan {
+			makespan = finish
+		}
+		wake(w, finish)
+	}
+	res.Time = makespan
+	for w := 0; w < n; w++ {
+		res.Waiting[w] = makespan - busyTime[w]
+	}
+	return res
+}

@@ -1,0 +1,57 @@
+package des
+
+import (
+	"repro/internal/coord"
+	"repro/internal/datasets"
+)
+
+// Figure3 replays the paper's Figure 3 worked example: three workers
+// evaluating CC where W1 owns a small cluster containing the global
+// minimum label and W2/W3 own longer chains through which that label
+// must propagate, making them stragglers. The paper's hand-drawn trace
+// gives Global=128, SSP=88 and DWS=67 time units; the simulator
+// reproduces the ordering and the relative gaps.
+func Figure3(strategy coord.Kind) Result {
+	edges, owner := figure3Layout()
+	return SimulateCC(edges, Config{
+		Workers:   3,
+		Strategy:  strategy,
+		Slack:     1,
+		PerTuple:  1,
+		CoordCost: 3,
+		Owner:     owner,
+	})
+}
+
+// figure3Layout builds the example graph and its fixed partitioning.
+func figure3Layout() ([]datasets.Edge, func(int64) int) {
+	var edges []datasets.Edge
+	add := func(a, b int64) {
+		edges = append(edges, datasets.Edge{Src: a, Dst: b}, datasets.Edge{Src: b, Dst: a})
+	}
+	// W1's cluster: 1-2-3.
+	add(1, 2)
+	add(2, 3)
+	// W2's chain 4..9 and W3's chain 10..15, cross-linked so the
+	// minimum label 1 must walk both chains.
+	for v := int64(4); v < 9; v++ {
+		add(v, v+1)
+	}
+	for v := int64(10); v < 15; v++ {
+		add(v, v+1)
+	}
+	add(3, 4)
+	add(9, 10)
+	add(15, 1)
+	owner := func(v int64) int {
+		switch {
+		case v <= 3:
+			return 0
+		case v <= 9:
+			return 1
+		default:
+			return 2
+		}
+	}
+	return edges, owner
+}

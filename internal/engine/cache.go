@@ -1,0 +1,82 @@
+package engine
+
+import "repro/internal/storage"
+
+// existCache is the constant-time existence-check cache of paper
+// §6.2.2: a direct-mapped array of (group-key, aggregate) pairs sitting
+// in front of a replica's B+-tree. A hit with a value at least as good
+// as the incoming derivation skips the logarithmic index probe
+// entirely. Each replica has its own cache and a single writer, so no
+// synchronization is needed.
+type existCache struct {
+	mask uint64
+	keys []storage.Tuple
+	vals []storage.Value
+}
+
+// newExistCache returns a cache with 2^bits slots.
+func newExistCache(bits uint) *existCache {
+	n := uint64(1) << bits
+	return &existCache{
+		mask: n - 1,
+		keys: make([]storage.Tuple, n),
+		vals: make([]storage.Value, n),
+	}
+}
+
+// get returns the cached aggregate for the key, if present.
+func (c *existCache) get(h uint64, key storage.Tuple) (storage.Value, bool) {
+	slot := h & c.mask
+	k := c.keys[slot]
+	if k == nil || !k.Equal(key) {
+		return 0, false
+	}
+	return c.vals[slot], true
+}
+
+// put stores the key's current aggregate, evicting whatever shared the
+// slot. The key is cloned so callers may reuse buffers.
+func (c *existCache) put(h uint64, key storage.Tuple, val storage.Value) {
+	slot := h & c.mask
+	if k := c.keys[slot]; k != nil && k.Equal(key) {
+		c.vals[slot] = val
+		return
+	}
+	c.keys[slot] = key.Clone()
+	c.vals[slot] = val
+}
+
+// incIndex is the incremental equi-join index maintained on
+// set-semantics recursive replicas: tuples are immutable once inserted,
+// so the index only ever appends.
+type incIndex struct {
+	cols    []int
+	buckets map[uint64][]storage.Tuple
+}
+
+func newIncIndex(cols []int) *incIndex {
+	return &incIndex{cols: cols, buckets: make(map[uint64][]storage.Tuple)}
+}
+
+// add indexes a newly inserted tuple.
+func (ix *incIndex) add(t storage.Tuple) {
+	h := t.HashOn(ix.cols)
+	ix.buckets[h] = append(ix.buckets[h], t)
+}
+
+// lookup streams tuples matching the key until fn returns false.
+func (ix *incIndex) lookup(key []storage.Value, fn func(storage.Tuple) bool) {
+	h := storage.HashValues(key)
+	for _, t := range ix.buckets[h] {
+		ok := true
+		for i, c := range ix.cols {
+			if t[c] != key[i] {
+				ok = false
+				break
+			}
+		}
+		if ok && !fn(t) {
+			return
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/physical"
+	"repro/internal/storage"
+)
+
+// outBatch buffers wire tuples bound for one (destination, predicate,
+// path) and performs the Distribute operator's partial aggregation
+// (§6.2.1): extremum batches keep only the best value per group,
+// count/sum batches deduplicate contributors, set batches deduplicate
+// tuples.
+type outBatch struct {
+	agg      storage.AggKind
+	groupLen int
+	valType  storage.Type
+	partial  bool
+
+	tuples []storage.Tuple
+	// dedup maps a key hash to tuple indexes (chained on collision).
+	dedup map[uint64][]int32
+	// keyCols are the partial-aggregation identity columns of the wire
+	// layout.
+	keyCols []int
+}
+
+func newOutBatch(pred *physical.Pred, partial bool) *outBatch {
+	b := &outBatch{
+		agg:      pred.Plan.Agg,
+		groupLen: pred.Plan.GroupLen,
+		partial:  partial,
+	}
+	if b.agg != storage.AggNone {
+		b.valType = pred.Plan.Schema.ColType(pred.Plan.Schema.Arity() - 1)
+	}
+	if partial {
+		b.dedup = make(map[uint64][]int32)
+		switch b.agg {
+		case storage.AggNone:
+			// identity = whole tuple
+		case storage.AggMin, storage.AggMax:
+			b.keyCols = upto(b.groupLen)
+		case storage.AggCount:
+			b.keyCols = upto(b.groupLen + 1) // group + contributor
+		case storage.AggSum:
+			// group + contributor (value sits between them).
+			b.keyCols = append(upto(b.groupLen), b.groupLen+1)
+		}
+	}
+	return b
+}
+
+func upto(n int) []int {
+	cols := make([]int, n)
+	for i := range cols {
+		cols[i] = i
+	}
+	return cols
+}
+
+// add appends a wire tuple, merging it into the batch when partial
+// aggregation applies, and returns the batch size.
+func (b *outBatch) add(wire storage.Tuple) int {
+	if !b.partial {
+		b.tuples = append(b.tuples, wire)
+		return len(b.tuples)
+	}
+	var h uint64
+	if b.agg == storage.AggNone {
+		h = wire.Hash()
+	} else {
+		h = wire.HashOn(b.keyCols)
+	}
+	for _, idx := range b.dedup[h] {
+		t := b.tuples[idx]
+		if !sameKey(t, wire, b.agg, b.keyCols) {
+			continue
+		}
+		switch b.agg {
+		case storage.AggNone, storage.AggCount:
+			// Duplicate tuple / contributor: drop.
+		case storage.AggMin:
+			if storage.Compare(wire[b.groupLen], t[b.groupLen], b.valType) < 0 {
+				b.tuples[idx] = wire
+			}
+		case storage.AggMax:
+			if storage.Compare(wire[b.groupLen], t[b.groupLen], b.valType) > 0 {
+				b.tuples[idx] = wire
+			}
+		case storage.AggSum:
+			// Same contributor: the later contribution replaces.
+			b.tuples[idx] = wire
+		}
+		return len(b.tuples)
+	}
+	b.dedup[h] = append(b.dedup[h], int32(len(b.tuples)))
+	b.tuples = append(b.tuples, wire)
+	return len(b.tuples)
+}
+
+func sameKey(a, b storage.Tuple, agg storage.AggKind, keyCols []int) bool {
+	if agg == storage.AggNone {
+		return a.Equal(b)
+	}
+	for _, c := range keyCols {
+		if a[c] != b[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// take removes and returns the buffered tuples.
+func (b *outBatch) take() []storage.Tuple {
+	t := b.tuples
+	b.tuples = nil
+	if b.partial {
+		b.dedup = make(map[uint64][]int32, len(t))
+	}
+	return t
+}
+
+// flushBatch packages tuples into BatchSize-bounded messages and pushes
+// them into the destination's inbox ring. If a ring is full the worker
+// drains its own inbox while waiting, which breaks producer/consumer
+// cycles when every worker's ring is saturated. It runs only at
+// iteration boundaries, where gathering into the replicas is safe.
+func (w *worker) flushBatch(dest, predIdx, pathIdx int, tuples []storage.Tuple) {
+	q := w.run.queues[dest][w.id]
+	for len(tuples) > 0 {
+		n := w.run.opts.BatchSize
+		if n > len(tuples) {
+			n = len(tuples)
+		}
+		chunk := tuples[:n]
+		tuples = tuples[n:]
+		w.run.det.Produce(len(chunk))
+		m := message{pred: predIdx, path: pathIdx, sentAt: time.Now().UnixNano(), tuples: chunk}
+		for !q.TryPush(m) {
+			// Draining our own inbox here is what prevents the cycle
+			// "every ring full, every producer blocked". Under the
+			// Global strategy it admits next-round tuples slightly
+			// early, which only adds them to a delta that the round
+			// boundary would have delivered anyway.
+			w.gather()
+			runtime.Gosched()
+		}
+	}
+}
+
+// flushAll sends every buffered batch (end of a local iteration).
+func (w *worker) flushAll() {
+	for dest, preds := range w.outBufs {
+		if preds == nil {
+			continue
+		}
+		for predIdx, paths := range preds {
+			for pathIdx, b := range paths {
+				if len(b.tuples) > 0 {
+					w.flushBatch(dest, predIdx, pathIdx, b.take())
+				}
+			}
+		}
+	}
+}

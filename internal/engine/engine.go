@@ -1,0 +1,218 @@
+// Package engine executes compiled physical programs with the paper's
+// parallel semi-naive evaluation (Algorithms 1 and 2): hash-partitioned
+// worker goroutines exchange delta tuples through SPSC ring buffers,
+// coordinated by the Global barrier scheme, the SSP bounded-staleness
+// scheme, or the paper's DWS dynamic weight-based strategy; aggregates
+// in recursion merge through access-ordered B+-trees with partial
+// aggregation in Distribute and an existence cache in front of the
+// index.
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/physical"
+	"repro/internal/spsc"
+	"repro/internal/storage"
+)
+
+// message is one batch of wire-format tuples exchanged between workers.
+type message struct {
+	pred   int
+	path   int
+	sentAt int64
+	tuples []storage.Tuple
+}
+
+// Run evaluates a compiled program against the given EDB relations.
+func Run(prog *physical.Program, edb map[string][]storage.Tuple, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+
+	store := newRelStore(prog.Plan.Analysis.Schemas)
+	for name := range prog.Plan.Analysis.EDB {
+		store.add(name, edb[name], prog.BaseLookups[name])
+	}
+	// EDB relations loaded but never referenced still need storing for
+	// completeness of scans.
+	for name, tuples := range edb {
+		if _, ok := store.tuples[name]; !ok {
+			store.add(name, tuples, prog.BaseLookups[name])
+		}
+	}
+
+	res := &Result{
+		Relations: make(map[string][]storage.Tuple),
+		Stats:     Stats{Workers: opts.Workers, Strategy: opts.Strategy},
+	}
+	for _, st := range prog.Strata {
+		ss, err := runStratum(prog, st, store, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Strata = append(res.Stats.Strata, *ss)
+	}
+	for _, st := range prog.Strata {
+		for _, p := range st.Preds {
+			res.Relations[p.Plan.Name] = store.scan(p.Plan.Name)
+		}
+	}
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+// stratumRun is the shared state of one stratum's parallel evaluation.
+type stratumRun struct {
+	prog  *physical.Program
+	st    *physical.Stratum
+	store *relStore
+	opts  Options
+	n     int
+
+	// queues[consumer][producer] is the SPSC ring M_consumer^producer.
+	queues [][]*spsc.Queue[message]
+	det    *coord.Detector
+	bar    *coord.Barrier
+	clock  *coord.Clock
+
+	// variants[pred][path] lists the delta variants driven by that
+	// replica's deltas.
+	variants [][][]*physical.Rule
+	// consume[pred][path] marks replicas whose deltas are consumed.
+	consume [][]bool
+	// types caches column types per relation for comparisons.
+	types map[string][]storage.Type
+
+	workers []*worker
+	stats   StratumStats
+	errMu   sync.Mutex
+	err     error
+}
+
+func (run *stratumRun) fail(err error) {
+	run.errMu.Lock()
+	if run.err == nil {
+		run.err = err
+	}
+	run.errMu.Unlock()
+}
+
+func runStratum(prog *physical.Program, st *physical.Stratum, store *relStore, opts Options) (*StratumStats, error) {
+	n := opts.Workers
+	run := &stratumRun{
+		prog:  prog,
+		st:    st,
+		store: store,
+		opts:  opts,
+		n:     n,
+		det:   coord.NewDetector(n),
+		bar:   coord.NewBarrier(n),
+		clock: coord.NewClock(n, opts.Slack),
+		types: make(map[string][]storage.Type),
+	}
+	begin := time.Now()
+
+	run.queues = make([][]*spsc.Queue[message], n)
+	for i := range run.queues {
+		run.queues[i] = make([]*spsc.Queue[message], n)
+		for j := range run.queues[i] {
+			if i != j {
+				run.queues[i][j] = spsc.New[message](opts.QueueCap)
+			}
+		}
+	}
+
+	run.variants = make([][][]*physical.Rule, len(st.Preds))
+	run.consume = make([][]bool, len(st.Preds))
+	for i, p := range st.Preds {
+		run.variants[i] = make([][]*physical.Rule, len(p.Plan.Paths))
+		run.consume[i] = make([]bool, len(p.Plan.Paths))
+	}
+	for _, r := range st.RecRules {
+		run.variants[r.OuterPredIdx][r.OuterPathIdx] = append(run.variants[r.OuterPredIdx][r.OuterPathIdx], r)
+		run.consume[r.OuterPredIdx][r.OuterPathIdx] = true
+	}
+
+	typesOf := func(name string) []storage.Type {
+		s := prog.Plan.Analysis.Schemas[name]
+		ts := make([]storage.Type, s.Arity())
+		for i := range ts {
+			ts[i] = s.ColType(i)
+		}
+		return ts
+	}
+	collect := func(rules []*physical.Rule) {
+		for _, r := range rules {
+			if r.Outer != nil {
+				if _, ok := run.types[r.Outer.Pred]; !ok {
+					run.types[r.Outer.Pred] = typesOf(r.Outer.Pred)
+				}
+			}
+			for _, op := range r.Ops {
+				if op.Access != nil {
+					if _, ok := run.types[op.Access.Pred]; !ok {
+						run.types[op.Access.Pred] = typesOf(op.Access.Pred)
+					}
+				}
+			}
+		}
+	}
+	collect(st.BaseRules)
+	collect(st.RecRules)
+
+	run.workers = make([]*worker, n)
+	for i := 0; i < n; i++ {
+		run.workers[i] = newWorker(run, i)
+	}
+	run.stats = StratumStats{
+		Preds:      st.Logical.Stratum.Preds,
+		Recursive:  st.Recursive,
+		LocalIters: make([]int64, n),
+		WaitTime:   make([]time.Duration, n),
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			if run.opts.Strategy == coord.Global && st.Recursive {
+				w.runGlobal()
+			} else {
+				w.runAsync()
+			}
+		}(run.workers[i])
+	}
+	wg.Wait()
+	if run.err != nil {
+		return nil, run.err
+	}
+
+	// Materialize primary replicas into the global store.
+	run.stats.ResultTuples = make(map[string]int)
+	for pi, p := range st.Preds {
+		var tuples []storage.Tuple
+		if p.Plan.Broadcast {
+			tuples = run.workers[0].replicas[pi][0].materialize()
+		} else {
+			for _, w := range run.workers {
+				tuples = append(tuples, w.replicas[pi][0].materialize()...)
+			}
+		}
+		store.add(p.Plan.Name, tuples, prog.BaseLookups[p.Plan.Name])
+		run.stats.ResultTuples[p.Plan.Name] = len(tuples)
+	}
+	for i, w := range run.workers {
+		run.stats.LocalIters[i] = w.localIters
+		run.stats.WaitTime[i] = w.waitTime
+		run.stats.TuplesMerged += w.merged
+		if w.droppedDeltas {
+			run.stats.Capped = true
+		}
+	}
+	run.stats.TuplesSent = run.det.Produced()
+	run.stats.Duration = time.Since(begin)
+	return &run.stats, nil
+}

@@ -1,0 +1,681 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/coord"
+	"repro/internal/parser"
+	"repro/internal/pcg"
+	"repro/internal/physical"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+func intSchema(name string, cols ...string) *storage.Schema {
+	cs := make([]storage.Column, len(cols))
+	for i, c := range cols {
+		cs[i] = storage.Column{Name: c, Type: storage.TInt}
+	}
+	return storage.NewSchema(name, cs...)
+}
+
+func compileSrc(t testing.TB, src string, schemas map[string]*storage.Schema, params map[string]physical.Param) *physical.Program {
+	t.Helper()
+	pt := make(map[string]storage.Type)
+	for k, v := range params {
+		pt[k] = v.Type
+	}
+	a, err := pcg.Analyze(parser.MustParse(src), schemas, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := plan.Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := physical.Compile(lp, params, storage.NewSymbolTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func runSrc(t testing.TB, src string, schemas map[string]*storage.Schema, edb map[string][]storage.Tuple, params map[string]physical.Param, opts Options) *Result {
+	t.Helper()
+	prog := compileSrc(t, src, schemas, params)
+	res, err := Run(prog, edb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// sortedPairs renders a relation as sorted "a,b,..." strings for
+// comparison.
+func sortedRows(ts []storage.Tuple) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		s := ""
+		for j, v := range t {
+			if j > 0 {
+				s += ","
+			}
+			s += fmt.Sprint(v.Int())
+		}
+		out[i] = s
+	}
+	sort.Strings(out)
+	return out
+}
+
+func pairs(ps [][2]int64) []storage.Tuple {
+	out := make([]storage.Tuple, len(ps))
+	for i, p := range ps {
+		out[i] = storage.Tuple{storage.IntVal(p[0]), storage.IntVal(p[1])}
+	}
+	return out
+}
+
+func triples(ps [][3]int64) []storage.Tuple {
+	out := make([]storage.Tuple, len(ps))
+	for i, p := range ps {
+		out[i] = storage.Tuple{storage.IntVal(p[0]), storage.IntVal(p[1]), storage.IntVal(p[2])}
+	}
+	return out
+}
+
+// allConfigs enumerates strategy × worker-count combinations.
+func allConfigs() []Options {
+	var out []Options
+	for _, k := range []coord.Kind{coord.Global, coord.SSP, coord.DWS} {
+		for _, w := range []int{1, 3, 4} {
+			out = append(out, Options{Workers: w, Strategy: k, BatchSize: 8})
+		}
+	}
+	return out
+}
+
+func cfgName(o Options) string {
+	return fmt.Sprintf("%s-w%d", o.Strategy, o.Workers)
+}
+
+// --- reference implementations -------------------------------------
+
+func refTC(edges [][2]int64) map[[2]int64]bool {
+	adj := map[int64][]int64{}
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	reach := map[[2]int64]bool{}
+	var nodes []int64
+	seen := map[int64]bool{}
+	for _, e := range edges {
+		for _, v := range e {
+			if !seen[v] {
+				seen[v] = true
+				nodes = append(nodes, v)
+			}
+		}
+	}
+	for _, s := range nodes {
+		// BFS from s.
+		q := []int64{s}
+		vis := map[int64]bool{}
+		for len(q) > 0 {
+			u := q[0]
+			q = q[1:]
+			for _, v := range adj[u] {
+				if !vis[v] {
+					vis[v] = true
+					reach[[2]int64{s, v}] = true
+					q = append(q, v)
+				}
+			}
+		}
+	}
+	return reach
+}
+
+func randGraph(rng *rand.Rand, n, m int) [][2]int64 {
+	seen := map[[2]int64]bool{}
+	var edges [][2]int64
+	for len(edges) < m {
+		e := [2]int64{rng.Int63n(int64(n)), rng.Int63n(int64(n))}
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	return edges
+}
+
+// --- tests ----------------------------------------------------------
+
+const tcSrc = `
+	tc(X, Y) :- arc(X, Y).
+	tc(X, Y) :- tc(X, Z), arc(Z, Y).
+`
+
+func arcSchemas() map[string]*storage.Schema {
+	return map[string]*storage.Schema{"arc": intSchema("arc", "x", "y")}
+}
+
+func TestTCAllStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	edges := randGraph(rng, 40, 120)
+	want := refTC(edges)
+	var wantRows []string
+	for p := range want {
+		wantRows = append(wantRows, fmt.Sprintf("%d,%d", p[0], p[1]))
+	}
+	sort.Strings(wantRows)
+
+	for _, o := range allConfigs() {
+		t.Run(cfgName(o), func(t *testing.T) {
+			res := runSrc(t, tcSrc, arcSchemas(), map[string][]storage.Tuple{"arc": pairs(edges)}, nil, o)
+			got := sortedRows(res.Relations["tc"])
+			if len(got) != len(wantRows) {
+				t.Fatalf("tc size = %d, want %d", len(got), len(wantRows))
+			}
+			for i := range got {
+				if got[i] != wantRows[i] {
+					t.Fatalf("row %d: %s vs %s", i, got[i], wantRows[i])
+				}
+			}
+		})
+	}
+}
+
+func TestCCAllStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Undirected graph as two directed arcs.
+	base := randGraph(rng, 60, 80)
+	var edges [][2]int64
+	for _, e := range base {
+		edges = append(edges, e, [2]int64{e[1], e[0]})
+	}
+	// Reference: component minima via BFS.
+	adj := map[int64][]int64{}
+	nodes := map[int64]bool{}
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		nodes[e[0]] = true
+		nodes[e[1]] = true
+	}
+	comp := map[int64]int64{}
+	for v := range nodes {
+		if _, ok := comp[v]; ok {
+			continue
+		}
+		group := []int64{v}
+		vis := map[int64]bool{v: true}
+		min := v
+		for i := 0; i < len(group); i++ {
+			for _, u := range adj[group[i]] {
+				if !vis[u] {
+					vis[u] = true
+					group = append(group, u)
+					if u < min {
+						min = u
+					}
+				}
+			}
+		}
+		for _, u := range group {
+			comp[u] = min
+		}
+	}
+	var wantRows []string
+	for v, m := range comp {
+		wantRows = append(wantRows, fmt.Sprintf("%d,%d", v, m))
+	}
+	sort.Strings(wantRows)
+
+	src := `
+		cc2(Y, min<Y>) :- arc(Y, _).
+		cc2(Y, min<Z>) :- cc2(X, Z), arc(X, Y).
+		cc(Y, min<Z>) :- cc2(Y, Z).
+	`
+	for _, o := range allConfigs() {
+		t.Run(cfgName(o), func(t *testing.T) {
+			res := runSrc(t, src, arcSchemas(), map[string][]storage.Tuple{"arc": pairs(edges)}, nil, o)
+			got := sortedRows(res.Relations["cc"])
+			if len(got) != len(wantRows) {
+				t.Fatalf("cc size = %d, want %d", len(got), len(wantRows))
+			}
+			for i := range got {
+				if got[i] != wantRows[i] {
+					t.Fatalf("row %d: got %s, want %s", i, got[i], wantRows[i])
+				}
+			}
+		})
+	}
+}
+
+const ssspSrc = `
+	sp(To, min<C>) :- To = $start, C = 0.
+	sp(To2, min<C>) :- sp(To1, C1), warc(To1, To2, C2), C = C1 + C2.
+`
+
+func warcSchemas() map[string]*storage.Schema {
+	return map[string]*storage.Schema{"warc": intSchema("warc", "x", "y", "w")}
+}
+
+func refSSSP(edges [][3]int64, start int64) map[int64]int64 {
+	type item struct {
+		v, d int64
+	}
+	adj := map[int64][]item{}
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], item{e[1], e[2]})
+	}
+	dist := map[int64]int64{start: 0}
+	// Bellman-Ford style relaxation (small graphs).
+	for changed := true; changed; {
+		changed = false
+		for u, d := range dist {
+			for _, it := range adj[u] {
+				nd := d + it.d
+				if old, ok := dist[it.v]; !ok || nd < old {
+					dist[it.v] = nd
+					changed = true
+				}
+			}
+		}
+	}
+	return dist
+}
+
+func TestSSSPAllStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var edges [][3]int64
+	for i := 0; i < 200; i++ {
+		edges = append(edges, [3]int64{rng.Int63n(50), rng.Int63n(50), 1 + rng.Int63n(9)})
+	}
+	want := refSSSP(edges, 0)
+	var wantRows []string
+	for v, d := range want {
+		wantRows = append(wantRows, fmt.Sprintf("%d,%d", v, d))
+	}
+	sort.Strings(wantRows)
+
+	params := map[string]physical.Param{"start": {Value: storage.IntVal(0), Type: storage.TInt}}
+	for _, o := range allConfigs() {
+		t.Run(cfgName(o), func(t *testing.T) {
+			res := runSrc(t, ssspSrc, warcSchemas(), map[string][]storage.Tuple{"warc": triples(edges)}, params, o)
+			got := sortedRows(res.Relations["sp"])
+			if len(got) != len(wantRows) {
+				t.Fatalf("sp size = %d, want %d", len(got), len(wantRows))
+			}
+			for i := range got {
+				if got[i] != wantRows[i] {
+					t.Fatalf("row %d: got %s, want %s", i, got[i], wantRows[i])
+				}
+			}
+		})
+	}
+}
+
+func TestDeliveryMaxAggregate(t *testing.T) {
+	// A bill-of-materials tree: part 0 assembles 1 and 2; 1 assembles
+	// 3 and 4; basic parts carry delivery days.
+	assbl := [][2]int64{{0, 1}, {0, 2}, {1, 3}, {1, 4}}
+	basic := [][2]int64{{2, 7}, {3, 2}, {4, 9}}
+	src := `
+		delivery(P, max<D>) :- basic(P, D).
+		delivery(P, max<D>) :- assbl(P, S), delivery(S, D).
+	`
+	schemas := map[string]*storage.Schema{
+		"assbl": intSchema("assbl", "p", "s"),
+		"basic": intSchema("basic", "p", "d"),
+	}
+	want := []string{"0,9", "1,9", "2,7", "3,2", "4,9"}
+	for _, o := range allConfigs() {
+		t.Run(cfgName(o), func(t *testing.T) {
+			res := runSrc(t, src, schemas, map[string][]storage.Tuple{
+				"assbl": pairs(assbl), "basic": pairs(basic),
+			}, nil, o)
+			got := sortedRows(res.Relations["delivery"])
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("delivery = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+const apspSrc = `
+	path(A, B, min<D>) :- warc(A, B, D).
+	path(A, B, min<D>) :- path(A, C, D1), path(C, B, D2), D = D1 + D2.
+`
+
+func refAPSP(edges [][3]int64, n int64) map[[2]int64]int64 {
+	const inf = int64(1) << 40
+	d := map[[2]int64]int64{}
+	get := func(a, b int64) int64 {
+		if v, ok := d[[2]int64{a, b}]; ok {
+			return v
+		}
+		return inf
+	}
+	for _, e := range edges {
+		if e[2] < get(e[0], e[1]) {
+			d[[2]int64{e[0], e[1]}] = e[2]
+		}
+	}
+	for k := int64(0); k < n; k++ {
+		for i := int64(0); i < n; i++ {
+			for j := int64(0); j < n; j++ {
+				if get(i, k)+get(k, j) < get(i, j) {
+					d[[2]int64{i, j}] = get(i, k) + get(k, j)
+				}
+			}
+		}
+	}
+	return d
+}
+
+func TestAPSPNonLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 14
+	var edges [][3]int64
+	for i := 0; i < 40; i++ {
+		edges = append(edges, [3]int64{rng.Int63n(n), rng.Int63n(n), 1 + rng.Int63n(5)})
+	}
+	want := refAPSP(edges, n)
+	var wantRows []string
+	for p, d := range want {
+		wantRows = append(wantRows, fmt.Sprintf("%d,%d,%d", p[0], p[1], d))
+	}
+	sort.Strings(wantRows)
+	for _, o := range allConfigs() {
+		t.Run(cfgName(o), func(t *testing.T) {
+			res := runSrc(t, apspSrc, warcSchemas(), map[string][]storage.Tuple{"warc": triples(edges)}, nil, o)
+			got := sortedRows(res.Relations["path"])
+			if len(got) != len(wantRows) {
+				t.Fatalf("path size = %d, want %d", len(got), len(wantRows))
+			}
+			for i := range got {
+				if got[i] != wantRows[i] {
+					t.Fatalf("row %d: got %s, want %s", i, got[i], wantRows[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSGSameGeneration(t *testing.T) {
+	// A small tree: sg pairs are nodes with a common ancestor at equal
+	// depth.
+	arcs := [][2]int64{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}, {2, 6}, {3, 7}, {5, 8}}
+	src := `
+		sg(X, Y) :- arc(P, X), arc(P, Y), X != Y.
+		sg(X, Y) :- arc(A, X), sg(A, B), arc(B, Y).
+	`
+	// Reference fixpoint.
+	type pair [2]int64
+	sg := map[pair]bool{}
+	for _, a := range arcs {
+		for _, b := range arcs {
+			if a[0] == b[0] && a[1] != b[1] {
+				sg[pair{a[1], b[1]}] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for p := range sg {
+			for _, a := range arcs {
+				if a[0] != p[0] {
+					continue
+				}
+				for _, b := range arcs {
+					if b[0] != p[1] {
+						continue
+					}
+					np := pair{a[1], b[1]}
+					if !sg[np] {
+						sg[np] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	var wantRows []string
+	for p := range sg {
+		wantRows = append(wantRows, fmt.Sprintf("%d,%d", p[0], p[1]))
+	}
+	sort.Strings(wantRows)
+	for _, o := range allConfigs() {
+		t.Run(cfgName(o), func(t *testing.T) {
+			res := runSrc(t, src, arcSchemas(), map[string][]storage.Tuple{"arc": pairs(arcs)}, nil, o)
+			got := sortedRows(res.Relations["sg"])
+			if fmt.Sprint(got) != fmt.Sprint(wantRows) {
+				t.Fatalf("sg = %v, want %v", got, wantRows)
+			}
+		})
+	}
+}
+
+func TestAttendMutualRecursion(t *testing.T) {
+	// Organizers 1..3 attend; anyone with ≥3 attending friends joins.
+	organizers := []int64{1, 2, 3}
+	friends := [][2]int64{
+		{10, 1}, {10, 2}, {10, 3}, // 10 has three attending friends
+		{11, 1}, {11, 2}, // 11 has only two
+		{12, 1}, {12, 2}, {12, 10}, // 12 needs 10 to attend first
+	}
+	src := `
+		attend(X) :- organizer(X).
+		cnt(Y, count<X>) :- attend(X), friend(Y, X).
+		attend(X) :- cnt(X, N), N >= 3.
+	`
+	schemas := map[string]*storage.Schema{
+		"organizer": intSchema("organizer", "x"),
+		"friend":    intSchema("friend", "y", "x"),
+	}
+	org := make([]storage.Tuple, len(organizers))
+	for i, v := range organizers {
+		org[i] = storage.Tuple{storage.IntVal(v)}
+	}
+	want := []string{"1", "10", "12", "2", "3"}
+	for _, o := range allConfigs() {
+		t.Run(cfgName(o), func(t *testing.T) {
+			res := runSrc(t, src, schemas, map[string][]storage.Tuple{
+				"organizer": org, "friend": pairs(friends),
+			}, nil, o)
+			got := sortedRows(res.Relations["attend"])
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("attend = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestPageRankFloatSum(t *testing.T) {
+	// A 4-node graph with known structure; compare against a plain
+	// iterative PageRank.
+	edges := [][2]int64{{0, 1}, {0, 2}, {1, 2}, {2, 0}, {3, 2}, {3, 0}}
+	outDeg := map[int64]int64{}
+	for _, e := range edges {
+		outDeg[e[0]]++
+	}
+	var matrix []storage.Tuple
+	for _, e := range edges {
+		matrix = append(matrix, storage.Tuple{storage.IntVal(e[0]), storage.IntVal(e[1]), storage.IntVal(outDeg[e[0]])})
+	}
+	const alpha = 0.85
+	const vnum = 4.0
+	// Reference power iteration.
+	rank := map[int64]float64{0: 1 / vnum, 1: 1 / vnum, 2: 1 / vnum, 3: 1 / vnum}
+	for it := 0; it < 100; it++ {
+		next := map[int64]float64{}
+		for v := range rank {
+			next[v] = (1 - alpha) / vnum
+		}
+		for _, e := range edges {
+			next[e[1]] += alpha * rank[e[0]] / float64(outDeg[e[0]])
+		}
+		rank = next
+	}
+
+	src := `
+		rank(X, sum<(X, I)>) :- matrix(X, _, _), I = (1 - $alpha) / $vnum.
+		rank(X, sum<(Y, K)>) :- rank(Y, C), matrix(Y, X, D), K = $alpha * (C / D).
+	`
+	schemas := map[string]*storage.Schema{
+		"matrix": storage.NewSchema("matrix",
+			storage.Column{Name: "x", Type: storage.TInt},
+			storage.Column{Name: "y", Type: storage.TInt},
+			storage.Column{Name: "d", Type: storage.TFloat}),
+	}
+	// The matrix degree column is float-typed.
+	for _, m := range matrix {
+		m[2] = storage.FloatVal(float64(m[2].Int()))
+	}
+	params := map[string]physical.Param{
+		"alpha": {Value: storage.FloatVal(alpha), Type: storage.TFloat},
+		"vnum":  {Value: storage.FloatVal(vnum), Type: storage.TFloat},
+	}
+	for _, o := range allConfigs() {
+		o.Epsilon = 1e-12
+		t.Run(cfgName(o), func(t *testing.T) {
+			res := runSrc(t, src, schemas, map[string][]storage.Tuple{"matrix": matrix}, params, o)
+			got := map[int64]float64{}
+			for _, r := range res.Relations["rank"] {
+				got[r[0].Int()] = r[1].Float()
+			}
+			for v, want := range rank {
+				if math.Abs(got[v]-want) > 1e-6 {
+					t.Fatalf("rank[%d] = %g, want %g (all: %v)", v, got[v], want, got)
+				}
+			}
+		})
+	}
+}
+
+func TestStratifiedNegation(t *testing.T) {
+	edges := [][2]int64{{0, 1}, {1, 2}, {3, 3}}
+	src := `
+		tc(X, Y) :- arc(X, Y).
+		tc(X, Y) :- tc(X, Z), arc(Z, Y).
+		node(X) :- arc(X, _).
+		node(Y) :- arc(_, Y).
+		unreach(X, Y) :- node(X), node(Y), !tc(X, Y).
+	`
+	res := runSrc(t, src, arcSchemas(), map[string][]storage.Tuple{"arc": pairs(edges)},
+		nil, Options{Workers: 3, Strategy: coord.DWS})
+	un := map[string]bool{}
+	for _, r := range sortedRows(res.Relations["unreach"]) {
+		un[r] = true
+	}
+	if un["0,1"] || un["0,2"] || un["1,2"] || un["3,3"] {
+		t.Fatalf("reachable pairs leaked into unreach: %v", un)
+	}
+	if !un["2,0"] || !un["1,0"] || !un["0,0"] || !un["0,3"] {
+		t.Fatalf("expected unreachable pairs missing: %v", un)
+	}
+}
+
+func TestFactsAndNonRecursiveStratum(t *testing.T) {
+	src := `
+		arc2(1, 2).
+		arc2(2, 3).
+		hop2(X, Y) :- arc2(X, Z), arc2(Z, Y).
+	`
+	res := runSrc(t, src, nil, nil, nil, Options{Workers: 2, Strategy: coord.DWS})
+	got := sortedRows(res.Relations["hop2"])
+	if fmt.Sprint(got) != "[1,3]" {
+		t.Fatalf("hop2 = %v", got)
+	}
+	if len(res.Relations["arc2"]) != 2 {
+		t.Fatalf("arc2 = %v", res.Relations["arc2"])
+	}
+}
+
+func TestAblationFlagsPreserveResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := randGraph(rng, 40, 60)
+	var edges [][2]int64
+	for _, e := range base {
+		edges = append(edges, e, [2]int64{e[1], e[0]})
+	}
+	src := `
+		cc2(Y, min<Y>) :- arc(Y, _).
+		cc2(Y, min<Z>) :- cc2(X, Z), arc(X, Y).
+	`
+	baseline := runSrc(t, src, arcSchemas(), map[string][]storage.Tuple{"arc": pairs(edges)},
+		nil, Options{Workers: 3, Strategy: coord.DWS})
+	want := sortedRows(baseline.Relations["cc2"])
+	for _, o := range []Options{
+		{Workers: 3, Strategy: coord.DWS, NoExistCache: true},
+		{Workers: 3, Strategy: coord.DWS, NoIndexAgg: true},
+		{Workers: 3, Strategy: coord.DWS, NoPartialAgg: true},
+		{Workers: 3, Strategy: coord.DWS, NoExistCache: true, NoIndexAgg: true, NoPartialAgg: true},
+	} {
+		res := runSrc(t, src, arcSchemas(), map[string][]storage.Tuple{"arc": pairs(edges)}, nil, o)
+		got := sortedRows(res.Relations["cc2"])
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("ablation %+v changed results", o)
+		}
+	}
+}
+
+func TestMaxLocalItersCapsRun(t *testing.T) {
+	// An infinite counting program would never converge; the iteration
+	// cap must stop it. succ generates increasing values via arithmetic.
+	src := `
+		num(X) :- X = 0.
+		num(Y) :- num(X), Y = X + 1, Y < 1000000.
+	`
+	res := runSrc(t, src, nil, nil, nil,
+		Options{Workers: 2, Strategy: coord.DWS, MaxLocalIters: 50})
+	if len(res.Relations["num"]) >= 1000000 {
+		t.Fatal("cap had no effect")
+	}
+	if len(res.Relations["num"]) == 0 {
+		t.Fatal("no tuples at all")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	edges := randGraph(rand.New(rand.NewSource(1)), 30, 60)
+	res := runSrc(t, tcSrc, arcSchemas(), map[string][]storage.Tuple{"arc": pairs(edges)},
+		nil, Options{Workers: 3, Strategy: coord.Global})
+	if res.Stats.Workers != 3 || res.Stats.Strategy != coord.Global {
+		t.Fatalf("stats header = %+v", res.Stats)
+	}
+	if len(res.Stats.Strata) == 0 {
+		t.Fatal("no strata stats")
+	}
+	st := res.Stats.Strata[0]
+	if !st.Recursive || st.ResultTuples["tc"] == 0 {
+		t.Fatalf("stratum stats = %+v", st)
+	}
+	if res.Stats.TotalIters() == 0 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestEmptyEDB(t *testing.T) {
+	res := runSrc(t, tcSrc, arcSchemas(), map[string][]storage.Tuple{"arc": nil}, nil,
+		Options{Workers: 2, Strategy: coord.DWS})
+	if len(res.Relations["tc"]) != 0 {
+		t.Fatalf("tc on empty arc = %v", res.Relations["tc"])
+	}
+}
+
+func TestSelfLoopAndDuplicateEdges(t *testing.T) {
+	edges := [][2]int64{{1, 1}, {1, 2}, {1, 2}, {2, 1}}
+	res := runSrc(t, tcSrc, arcSchemas(), map[string][]storage.Tuple{"arc": pairs(edges)}, nil,
+		Options{Workers: 2, Strategy: coord.SSP})
+	got := sortedRows(res.Relations["tc"])
+	want := []string{"1,1", "1,2", "2,1", "2,2"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("tc = %v", got)
+	}
+}

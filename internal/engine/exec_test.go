@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+func TestValueEq(t *testing.T) {
+	if !valueEq(storage.IntVal(3), storage.TInt, storage.IntVal(3), storage.TInt) {
+		t.Fatal("3 == 3")
+	}
+	if valueEq(storage.IntVal(3), storage.TInt, storage.IntVal(4), storage.TInt) {
+		t.Fatal("3 != 4")
+	}
+	// Mixed int/float promote.
+	if !valueEq(storage.IntVal(3), storage.TInt, storage.FloatVal(3.0), storage.TFloat) {
+		t.Fatal("3 == 3.0 across types")
+	}
+	if valueEq(storage.IntVal(3), storage.TInt, storage.FloatVal(3.5), storage.TFloat) {
+		t.Fatal("3 != 3.5")
+	}
+	// Symbols never equal numbers.
+	if valueEq(storage.SymVal(3), storage.TSym, storage.IntVal(3), storage.TInt) {
+		t.Fatal("sym 3 != int 3")
+	}
+	if !valueEq(storage.SymVal(3), storage.TSym, storage.SymVal(3), storage.TSym) {
+		t.Fatal("same symbol id")
+	}
+}
+
+func TestEvalCompareMixedTypes(t *testing.T) {
+	cases := []struct {
+		op   ast.CmpOp
+		l    storage.Value
+		lt   storage.Type
+		r    storage.Value
+		rt   storage.Type
+		want bool
+	}{
+		{ast.Lt, storage.IntVal(1), storage.TInt, storage.FloatVal(1.5), storage.TFloat, true},
+		{ast.Gt, storage.FloatVal(2.5), storage.TFloat, storage.IntVal(2), storage.TInt, true},
+		{ast.Eq, storage.FloatVal(2.0), storage.TFloat, storage.IntVal(2), storage.TInt, true},
+		{ast.Ne, storage.IntVal(-1), storage.TInt, storage.IntVal(1), storage.TInt, true},
+		{ast.Le, storage.IntVal(5), storage.TInt, storage.IntVal(5), storage.TInt, true},
+		{ast.Ge, storage.IntVal(4), storage.TInt, storage.IntVal(5), storage.TInt, false},
+		{ast.Lt, storage.IntVal(-3), storage.TInt, storage.IntVal(-2), storage.TInt, true},
+	}
+	for i, c := range cases {
+		if got := evalCompare(c.op, c.l, c.lt, c.r, c.rt); got != c.want {
+			t.Errorf("case %d: %v", i, got)
+		}
+	}
+}
+
+func TestConvertVal(t *testing.T) {
+	if convertVal(storage.IntVal(7), storage.TInt, storage.TInt).Int() != 7 {
+		t.Fatal("identity conversion")
+	}
+	if convertVal(storage.IntVal(7), storage.TInt, storage.TFloat).Float() != 7.0 {
+		t.Fatal("int→float")
+	}
+	if convertVal(storage.FloatVal(7.9), storage.TFloat, storage.TInt).Int() != 7 {
+		t.Fatal("float→int truncation")
+	}
+}
+
+// TestWireFormats pins the wire layout per aggregate kind by running a
+// one-worker engine and inspecting the merged relation sizes.
+func TestWireFormats(t *testing.T) {
+	// count wire = group + contributor (arity stays 2 for cnt(Y, N));
+	// sum wire = group + value + contributor. A program using both:
+	src := `
+		cnt(Y, count<X>) :- friend(Y, X).
+		load(Y, sum<(X, W)>) :- fw(Y, X, W).
+	`
+	// Note: per (group, contributor) the contribution must be
+	// functional — conflicting contributions would make replacement
+	// order-dependent in any engine.
+	edb := map[string][]storage.Tuple{
+		"friend": {it(1, 10), it(1, 11), it(1, 10), it(2, 10)},
+		"fw":     {it(1, 10, 9), it(1, 11, 7), it(1, 10, 9), it(2, 10, 1)},
+	}
+	schemas := map[string]*storage.Schema{
+		"friend": intSchema("friend", "y", "x"),
+		"fw":     intSchema("fw", "y", "x", "w"),
+	}
+	got, want := runBoth(t, src, schemas, edb, nil, Options{Workers: 2})
+	assertSameRelation(t, "cnt", got["cnt"], want["cnt"])
+	assertSameRelation(t, "load", got["load"], want["load"])
+	// Distinct contributors: cnt(1)=2, cnt(2)=1; sums replace per
+	// contributor: load(1)=9+7, load(2)=1.
+	m := map[int64]int64{}
+	for _, r := range got["cnt"] {
+		m[r[0].Int()] = r[1].Int()
+	}
+	if m[1] != 2 || m[2] != 1 {
+		t.Fatalf("cnt = %v", m)
+	}
+	s := map[int64]int64{}
+	for _, r := range got["load"] {
+		s[r[0].Int()] = r[1].Int()
+	}
+	if s[1] != 16 || s[2] != 1 {
+		t.Fatalf("load = %v", s)
+	}
+}

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/storage"
+)
+
+// Options configures a parallel evaluation run.
+type Options struct {
+	// Workers is the number of parallel workers (goroutines); 0 uses
+	// GOMAXPROCS.
+	Workers int
+	// Strategy selects the coordination scheme (Global / SSP / DWS).
+	Strategy coord.Kind
+	// Slack is the SSP staleness bound s (paper uses 5).
+	Slack int
+	// MaxWait caps the DWS wait budget τ and doubles as the
+	// deadlock-avoidance timeout of Algorithm 2.
+	MaxWait time.Duration
+	// BatchSize is the number of tuples per exchanged message.
+	BatchSize int
+	// QueueCap is the capacity (messages) of each SPSC ring.
+	QueueCap int
+	// Epsilon is the convergence threshold for float sum aggregates
+	// (PageRank); changes at or below it do not re-enter the delta.
+	Epsilon float64
+	// MaxLocalIters bounds local iterations per worker per stratum;
+	// 0 means run to fixpoint.
+	MaxLocalIters int
+	// MaxTuples bounds the total tuples exchanged per stratum; 0 means
+	// unbounded. Exceeding it drops pending deltas and marks the
+	// stratum Capped — the analogue of running out of memory for
+	// diverging programs whose blow-up happens inside one iteration.
+	MaxTuples int64
+	// NoExistCache disables the §6.2.2 existence-check cache
+	// (ablation).
+	NoExistCache bool
+	// NoIndexAgg disables index-assisted extremum merges in favor of
+	// the per-batch linear-scan path (§6.2.1 ablation).
+	NoIndexAgg bool
+	// NoPartialAgg disables partial aggregation in the Distribute
+	// operator (ablation).
+	NoPartialAgg bool
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Slack <= 0 {
+		o.Slack = 5
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 4096
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 1e-9
+	}
+	return o
+}
+
+// StratumStats describes one stratum's execution.
+type StratumStats struct {
+	Preds          []string
+	Recursive      bool
+	LocalIters     []int64 // per worker
+	TuplesSent     int64   // through SPSC buffers
+	TuplesMerged   int64   // replica state changes
+	WaitTime       []time.Duration
+	Duration       time.Duration
+	ResultTuples   map[string]int
+	GlobalBarriers int64 // Global strategy rounds
+	// Capped reports that MaxLocalIters fired with deltas still
+	// pending: the fixpoint was NOT reached (benchmarks report this as
+	// the OOM/DNF analogue for diverging baselines).
+	Capped bool
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Workers  int
+	Strategy coord.Kind
+	Duration time.Duration
+	Strata   []StratumStats
+}
+
+// TotalIters sums local iterations over all workers and strata.
+func (s *Stats) TotalIters() int64 {
+	var n int64
+	for _, st := range s.Strata {
+		for _, it := range st.LocalIters {
+			n += it
+		}
+	}
+	return n
+}
+
+// Result is the output of a run: every IDB relation materialized, plus
+// execution statistics.
+type Result struct {
+	Relations map[string][]storage.Tuple
+	Stats     Stats
+}

@@ -1,0 +1,370 @@
+package engine
+
+import (
+	"math"
+
+	"repro/internal/btree"
+	"repro/internal/physical"
+	"repro/internal/storage"
+)
+
+// replica is one worker's partition (or full copy, for broadcast
+// predicates) of a recursive relation under one access path. Set
+// semantics use a deduplicating tuple set plus incremental join
+// indexes; aggregate semantics use the paper's B+-tree layout (§6.2.1):
+// one tree keyed by the (path-first permuted) group key holding the
+// current aggregate, and for count/sum a second tree keyed by
+// (group, contributor) holding each contributor's latest contribution.
+// Every replica is read and written by exactly one worker goroutine.
+type replica struct {
+	pred     *physical.Pred
+	pathIdx  int
+	agg      storage.AggKind
+	groupLen int
+	valType  storage.Type
+	// keyOrder permutes group columns into B+-tree key order.
+	keyOrder []int
+
+	// Set semantics.
+	set    *storage.SetRelation
+	incIdx []*incIndex
+
+	// Aggregate semantics.
+	aggTree     *btree.Tree
+	contribTree *btree.Tree
+	cache       *existCache
+
+	// delta queues merged-and-changed tuples (schema order: group +
+	// aggregate) for the next local iteration; unset when no variant
+	// consumes this path. For aggregates the queue is coalesced per
+	// group — only the latest aggregate matters, and without
+	// coalescing, update counts amplify exponentially through cycles.
+	consume      bool
+	delta        []storage.Tuple
+	deltaIdx     map[uint64][]int32
+	groupColsBuf []int
+
+	// Options.
+	useCache  bool
+	scanMerge bool // ablation: per-batch linear-scan merge (§7.3 w/o)
+	eps       float64
+
+	keyBuf storage.Tuple // scratch permuted key
+}
+
+func newReplica(pred *physical.Pred, pathIdx int, opts *Options) *replica {
+	pp := pred.Plan
+	r := &replica{
+		pred:     pred,
+		pathIdx:  pathIdx,
+		agg:      pp.Agg,
+		groupLen: pp.GroupLen,
+		keyOrder: pred.KeyOrders[pathIdx],
+		useCache: !opts.NoExistCache,
+		eps:      opts.Epsilon,
+	}
+	if pp.Agg == storage.AggNone {
+		r.set = storage.NewSetRelation(pp.Schema)
+		for _, cols := range pred.Lookups {
+			r.incIdx = append(r.incIdx, newIncIndex(cols))
+		}
+		return r
+	}
+	r.valType = pp.Schema.ColType(pp.Schema.Arity() - 1)
+	keyTypes := make([]storage.Type, len(r.keyOrder))
+	for i, c := range r.keyOrder {
+		keyTypes[i] = pp.Schema.ColType(c)
+	}
+	r.aggTree = btree.New(keyTypes)
+	if pp.Agg == storage.AggCount || pp.Agg == storage.AggSum {
+		ctypes := append(append([]storage.Type(nil), keyTypes...), storage.TInt)
+		r.contribTree = btree.New(ctypes)
+	}
+	if r.useCache {
+		r.cache = newExistCache(12)
+	}
+	r.scanMerge = opts.NoIndexAgg && (pp.Agg == storage.AggMin || pp.Agg == storage.AggMax)
+	r.keyBuf = make(storage.Tuple, len(r.keyOrder))
+	return r
+}
+
+// permKey fills the scratch buffer with the wire tuple's group columns
+// in B+-tree key order.
+func (r *replica) permKey(wire storage.Tuple) storage.Tuple {
+	for i, c := range r.keyOrder {
+		r.keyBuf[i] = wire[c]
+	}
+	return r.keyBuf
+}
+
+// better reports whether a beats b under the replica's extremum.
+func (r *replica) better(a, b storage.Value) bool {
+	if r.agg == storage.AggMin {
+		return storage.Compare(a, b, r.valType) < 0
+	}
+	return storage.Compare(a, b, r.valType) > 0
+}
+
+// queueDelta records a post-merge (group + aggregate) tuple for the
+// next local iteration, coalescing repeated updates of one group into
+// a single pending row holding the latest aggregate.
+func (r *replica) queueDelta(wire storage.Tuple, val storage.Value) {
+	if !r.consume {
+		return
+	}
+	h := wire.HashOn(r.groupCols())
+	if r.deltaIdx == nil {
+		r.deltaIdx = make(map[uint64][]int32)
+	}
+	for _, idx := range r.deltaIdx[h] {
+		row := r.delta[idx]
+		same := true
+		for i := 0; i < r.groupLen; i++ {
+			if row[i] != wire[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			row[r.groupLen] = val
+			return
+		}
+	}
+	row := make(storage.Tuple, r.groupLen+1)
+	copy(row, wire[:r.groupLen])
+	row[r.groupLen] = val
+	r.deltaIdx[h] = append(r.deltaIdx[h], int32(len(r.delta)))
+	r.delta = append(r.delta, row)
+}
+
+// groupCols returns [0, groupLen).
+func (r *replica) groupCols() []int {
+	if r.groupColsBuf == nil {
+		r.groupColsBuf = make([]int, r.groupLen)
+		for i := range r.groupColsBuf {
+			r.groupColsBuf[i] = i
+		}
+	}
+	return r.groupColsBuf
+}
+
+// takeDelta removes and returns the pending delta rows.
+func (r *replica) takeDelta() []storage.Tuple {
+	d := r.delta
+	r.delta = nil
+	r.deltaIdx = nil
+	return d
+}
+
+// mergeWire folds one wire-format tuple into the replica (the Gather
+// operator's per-tuple work) and reports whether the replica changed.
+// Wire layouts: set → full tuple; min/max → group + value; count →
+// group + contributor; sum → group + value + contributor.
+func (r *replica) mergeWire(wire storage.Tuple) bool {
+	switch r.agg {
+	case storage.AggNone:
+		if !r.set.Insert(wire) {
+			return false
+		}
+		for _, ix := range r.incIdx {
+			ix.add(wire)
+		}
+		if r.consume {
+			r.delta = append(r.delta, wire)
+		}
+		return true
+
+	case storage.AggMin, storage.AggMax:
+		val := wire[r.groupLen]
+		key := r.permKey(wire)
+		h := storage.HashValues(key)
+		if r.useCache {
+			if cur, ok := r.cache.get(h, key); ok && !r.better(val, cur) {
+				return false // cache hit: no improvement, skip the tree
+			}
+		}
+		res, changed := r.aggTree.Update(key, func(cur storage.Value, exists bool) storage.Value {
+			if exists && !r.better(val, cur) {
+				return cur
+			}
+			return val
+		})
+		if r.useCache {
+			r.cache.put(h, key, res)
+		}
+		if changed {
+			r.queueDelta(wire, res)
+		}
+		return changed
+
+	case storage.AggCount:
+		contributor := wire[r.groupLen]
+		ckey := append(r.permKey(wire).Clone(), contributor)
+		if _, existed := r.contribTree.Insert(ckey, 1); existed {
+			return false
+		}
+		res, _ := r.aggTree.Update(r.permKey(wire), func(cur storage.Value, exists bool) storage.Value {
+			if !exists {
+				return storage.IntVal(1)
+			}
+			return storage.IntVal(cur.Int() + 1)
+		})
+		r.queueDelta(wire, res)
+		return true
+
+	case storage.AggSum:
+		val := wire[r.groupLen]
+		contributor := wire[r.groupLen+1]
+		ckey := append(r.permKey(wire).Clone(), contributor)
+		prev, existed := r.contribTree.Insert(ckey, val)
+		if existed && prev == val {
+			return false
+		}
+		emit := true
+		res, _ := r.aggTree.Update(r.permKey(wire), func(cur storage.Value, exists bool) storage.Value {
+			if r.valType == storage.TFloat {
+				sum := val.Float()
+				if exists {
+					sum += cur.Float()
+				}
+				if existed {
+					sum -= prev.Float()
+				}
+				if exists && r.eps > 0 && math.Abs(sum-cur.Float()) <= r.eps {
+					emit = false
+				}
+				return storage.FloatVal(sum)
+			}
+			sum := val.Int()
+			if exists {
+				sum += cur.Int()
+			}
+			if existed {
+				sum -= prev.Int()
+			}
+			if exists && sum == cur.Int() {
+				emit = false
+			}
+			return storage.IntVal(sum)
+		})
+		if emit {
+			r.queueDelta(wire, res)
+		}
+		return emit
+	}
+	return false
+}
+
+// mergeBatch folds a drained message. The ablation "w/o optimization"
+// path replaces per-tuple index merges of extremum aggregates with the
+// paper's unoptimized alternative: one linear scan over the
+// deduplicated recursive table per batch (§6.2.1, Figure 7).
+func (r *replica) mergeBatch(tuples []storage.Tuple) int {
+	if r.scanMerge {
+		return r.mergeBatchScan(tuples)
+	}
+	changed := 0
+	for _, t := range tuples {
+		if r.mergeWire(t) {
+			changed++
+		}
+	}
+	return changed
+}
+
+// mergeBatchScan merges a min/max batch without index assistance.
+func (r *replica) mergeBatchScan(tuples []storage.Tuple) int {
+	type pend struct {
+		wire  storage.Tuple
+		key   storage.Tuple
+		val   storage.Value
+		found bool
+	}
+	pending := make(map[uint64][]*pend, len(tuples))
+	for _, t := range tuples {
+		key := r.permKey(t).Clone()
+		h := storage.HashValues(key)
+		merged := false
+		for _, p := range pending[h] {
+			if p.key.Equal(key) {
+				if r.better(t[r.groupLen], p.val) {
+					p.val = t[r.groupLen]
+					p.wire = t
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			pending[h] = append(pending[h], &pend{wire: t, key: key, val: t[r.groupLen]})
+		}
+	}
+	// One full pass over the recursive table to resolve existing groups.
+	type update struct {
+		p *pend
+	}
+	var updates []update
+	r.aggTree.Ascend(func(key storage.Tuple, cur storage.Value) bool {
+		h := storage.HashValues(key)
+		for _, p := range pending[h] {
+			if !p.found && p.key.Equal(key) {
+				p.found = true
+				if r.better(p.val, cur) {
+					updates = append(updates, update{p})
+				}
+				break
+			}
+		}
+		return true
+	})
+	changed := 0
+	apply := func(p *pend) {
+		res, ch := r.aggTree.Update(p.key, func(cur storage.Value, exists bool) storage.Value {
+			if exists && !r.better(p.val, cur) {
+				return cur
+			}
+			return p.val
+		})
+		if ch {
+			changed++
+			r.queueDelta(p.wire, res)
+		}
+	}
+	for _, u := range updates {
+		apply(u.p)
+	}
+	for _, ps := range pending {
+		for _, p := range ps {
+			if !p.found {
+				apply(p)
+			}
+		}
+	}
+	return changed
+}
+
+// materialize renders the replica's contents as schema-order tuples.
+func (r *replica) materialize() []storage.Tuple {
+	if r.agg == storage.AggNone {
+		return r.set.Snapshot()
+	}
+	out := make([]storage.Tuple, 0, r.aggTree.Len())
+	r.aggTree.Ascend(func(key storage.Tuple, val storage.Value) bool {
+		row := make(storage.Tuple, r.groupLen+1)
+		for i, c := range r.keyOrder {
+			row[c] = key[i]
+		}
+		row[r.groupLen] = val
+		out = append(out, row)
+		return true
+	})
+	return out
+}
+
+// size reports the number of distinct tuples/groups held.
+func (r *replica) size() int {
+	if r.agg == storage.AggNone {
+		return r.set.Len()
+	}
+	return r.aggTree.Len()
+}

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"repro/internal/storage"
+)
+
+// relStore holds the relations visible to a stratum as read-only
+// inputs: the EDB plus every already-materialized IDB predicate. In a
+// shared-memory engine these are immutable during evaluation, so all
+// workers read them (and their hash indexes) without synchronization —
+// the partitioning that matters for races is confined to the recursive
+// replicas.
+type relStore struct {
+	schemas map[string]*storage.Schema
+	tuples  map[string][]storage.Tuple
+	// indexes[pred][i] is the hash index for BaseLookups[pred][i].
+	indexes map[string][]*storage.HashIndex
+}
+
+func newRelStore(schemas map[string]*storage.Schema) *relStore {
+	return &relStore{
+		schemas: schemas,
+		tuples:  make(map[string][]storage.Tuple),
+		indexes: make(map[string][]*storage.HashIndex),
+	}
+}
+
+// add registers a relation's tuples and builds the hash indexes the
+// compiled program needs on it.
+func (s *relStore) add(name string, tuples []storage.Tuple, lookups [][]int) {
+	s.tuples[name] = tuples
+	idxs := make([]*storage.HashIndex, len(lookups))
+	for i, cols := range lookups {
+		idxs[i] = storage.NewHashIndex(tuples, cols)
+	}
+	s.indexes[name] = idxs
+}
+
+// scan returns all tuples of the relation (nil when empty or unknown).
+func (s *relStore) scan(name string) []storage.Tuple { return s.tuples[name] }
+
+// lookup probes the relation's i-th hash index.
+func (s *relStore) lookup(name string, idx int, key []storage.Value, fn func(storage.Tuple) bool) {
+	ixs := s.indexes[name]
+	if idx < len(ixs) && ixs[idx] != nil {
+		ixs[idx].Lookup(key, fn)
+	}
+}
+
+// contains reports whether any tuple matches the key on the i-th index
+// (anti-join probe).
+func (s *relStore) contains(name string, idx int, key []storage.Value) bool {
+	found := false
+	s.lookup(name, idx, key, func(storage.Tuple) bool {
+		found = true
+		return false
+	})
+	return found
+}

@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/physical"
+	"repro/internal/queueing"
+	"repro/internal/storage"
+)
+
+// worker is one parallel evaluation thread (Algorithm 2). It owns one
+// replica per (stratum predicate, access path), drains its SPSC inbox
+// rings, evaluates delta variants, and distributes derivations.
+type worker struct {
+	id  int
+	run *stratumRun
+
+	// replicas[pred][path] is this worker's partition of the relation.
+	replicas [][]*replica
+
+	// outBufs[dest][pred][path] batches outgoing tuples with partial
+	// aggregation (the Distribute operator).
+	outBufs [][][]*outBatch
+
+	arrivals []*queueing.ArrivalTracker
+	service  queueing.ServiceTracker
+
+	scratch map[*physical.Rule][]storage.Value
+
+	// selfPending buffers this worker's own derivations until the end
+	// of the local iteration (Algorithm 2 line 16: R ← R ∪ δ happens
+	// after evaluation, and the replica trees must not mutate under an
+	// active probe).
+	selfPending []selfMsg
+
+	localIters    int64
+	waitTime      time.Duration
+	merged        int64
+	droppedDeltas bool
+}
+
+// selfMsg is one buffered self-bound derivation.
+type selfMsg struct {
+	pred, path int
+	wire       storage.Tuple
+}
+
+// drainSelf merges the buffered self-bound derivations.
+func (w *worker) drainSelf() {
+	pending := w.selfPending
+	w.selfPending = nil
+	for _, m := range pending {
+		if w.replicas[m.pred][m.path].mergeWire(m.wire) {
+			w.merged++
+		}
+	}
+}
+
+func newWorker(run *stratumRun, id int) *worker {
+	w := &worker{id: id, run: run, scratch: make(map[*physical.Rule][]storage.Value)}
+	w.replicas = make([][]*replica, len(run.st.Preds))
+	for pi, p := range run.st.Preds {
+		w.replicas[pi] = make([]*replica, len(p.Plan.Paths))
+		for path := range p.Plan.Paths {
+			rep := newReplica(p, path, &run.opts)
+			rep.consume = run.consume[pi][path]
+			w.replicas[pi][path] = rep
+		}
+	}
+	w.outBufs = make([][][]*outBatch, run.n)
+	for d := range w.outBufs {
+		if d == id {
+			continue
+		}
+		w.outBufs[d] = make([][]*outBatch, len(run.st.Preds))
+		for pi, p := range run.st.Preds {
+			w.outBufs[d][pi] = make([]*outBatch, len(p.Plan.Paths))
+			for path := range p.Plan.Paths {
+				w.outBufs[d][pi][path] = newOutBatch(p, !run.opts.NoPartialAgg)
+			}
+		}
+	}
+	w.arrivals = make([]*queueing.ArrivalTracker, run.n)
+	for j := range w.arrivals {
+		w.arrivals[j] = &queueing.ArrivalTracker{}
+	}
+	for _, r := range append(append([]*physical.Rule(nil), run.st.BaseRules...), run.st.RecRules...) {
+		w.scratch[r] = make([]storage.Value, r.NumSlots)
+	}
+	return w
+}
+
+// pendingDelta counts tuples waiting in consumed delta queues.
+func (w *worker) pendingDelta() int {
+	total := 0
+	for _, paths := range w.replicas {
+		for _, rep := range paths {
+			total += len(rep.delta)
+		}
+	}
+	return total
+}
+
+// gather drains every inbox ring and merges the tuples (the Gather
+// operator); it returns the number of tuples consumed.
+func (w *worker) gather() int {
+	total := 0
+	for j, q := range w.run.queues[w.id] {
+		if q == nil {
+			continue
+		}
+		q.Drain(func(m message) {
+			w.arrivals[j].Record(len(m.tuples), m.sentAt)
+			rep := w.replicas[m.pred][m.path]
+			w.merged += int64(rep.mergeBatch(m.tuples))
+			w.run.det.Consume(len(m.tuples))
+			total += len(m.tuples)
+		})
+	}
+	return total
+}
+
+// inboxNonEmpty cheaply checks for queued messages.
+func (w *worker) inboxNonEmpty() bool {
+	for _, q := range w.run.queues[w.id] {
+		if q != nil && !q.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// runBaseRules seeds the stratum: every worker evaluates a stripe of
+// each base rule's outer relation.
+func (w *worker) runBaseRules() {
+	for _, r := range w.run.st.BaseRules {
+		if r.Outer == nil {
+			// Fact-style rule (conditions/lets only): one execution.
+			if w.id == 0 {
+				w.execOps(r, 0)
+			}
+			continue
+		}
+		tuples := w.run.store.scan(r.Outer.Pred)
+		for i := w.id; i < len(tuples); i += w.run.n {
+			if w.bindOuter(r, tuples[i]) {
+				w.execOps(r, 0)
+			}
+		}
+	}
+	w.drainSelf()
+	w.flushAll()
+}
+
+// runAsync is the worker loop shared by SSP and DWS (and by every
+// non-recursive stratum): Algorithm 2 with the asynchronous
+// global-fixpoint detector of §6.1.
+func (w *worker) runAsync() {
+	w.runBaseRules()
+	for {
+		w.gather()
+		total := w.pendingDelta()
+		if total == 0 {
+			if w.park() {
+				return
+			}
+			continue
+		}
+		if w.run.st.Recursive {
+			switch w.run.opts.Strategy {
+			case coord.DWS:
+				w.dwsGate(total)
+			case coord.SSP:
+				w.sspGate()
+			}
+		}
+		w.iterate()
+	}
+}
+
+// runGlobal is the BSP loop of Algorithm 1: evaluate, barrier, gather,
+// agree on emptiness.
+func (w *worker) runGlobal() {
+	w.runBaseRules()
+	w.run.bar.Wait(false) // all seed messages enqueued
+	for {
+		w.gather()
+		has := w.pendingDelta() > 0
+		waitStart := time.Now()
+		anyDelta := w.run.bar.Wait(has)
+		w.waitTime += time.Since(waitStart)
+		if w.id == 0 {
+			w.run.stats.GlobalBarriers++
+		}
+		if !anyDelta {
+			return
+		}
+		if has {
+			w.iterate()
+		}
+		waitStart = time.Now()
+		w.run.bar.Wait(false) // all sends of this round enqueued
+		w.waitTime += time.Since(waitStart)
+	}
+}
+
+// park marks the worker inactive and waits for new input or the global
+// fixpoint; it returns true when evaluation is over.
+func (w *worker) park() bool {
+	w.run.det.SetInactive()
+	w.run.clock.Park(w.id)
+	start := time.Now()
+	defer func() { w.waitTime += time.Since(start) }()
+	spins := 0
+	for {
+		if w.run.det.TryFinish() {
+			return true
+		}
+		if w.inboxNonEmpty() {
+			w.run.det.SetActive()
+			w.run.clock.Unpark(w.id)
+			return false
+		}
+		spins++
+		if spins < 16 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// dwsGate implements lines 5–8 of Algorithm 2: derive (ω, τ) from the
+// queueing statistics and wait for the delta to fatten, bounded by the
+// timeout.
+func (w *worker) dwsGate(total int) {
+	lambda, sigmaA2 := queueing.Combine(w.arrivals)
+	d := queueing.Decide(lambda, sigmaA2, w.service.Mu(), w.service.SigmaS2(), w.run.opts.MaxWait.Seconds())
+	if d.Omega <= 0 || total >= d.Omega {
+		return
+	}
+	start := time.Now()
+	deadline := start.Add(time.Duration(d.Tau * float64(time.Second)))
+	for time.Now().Before(deadline) {
+		time.Sleep(20 * time.Microsecond)
+		w.gather()
+		total = w.pendingDelta()
+		if total == 0 || total >= d.Omega {
+			break
+		}
+	}
+	w.waitTime += time.Since(start)
+}
+
+// sspGate blocks while the worker is more than Slack local iterations
+// ahead of the slowest active worker, gathering while it waits.
+func (w *worker) sspGate() {
+	start := time.Now()
+	waited := false
+	for !w.run.clock.MayProceed(w.id) {
+		waited = true
+		w.gather()
+		time.Sleep(20 * time.Microsecond)
+	}
+	if waited {
+		w.waitTime += time.Since(start)
+	}
+}
+
+// iterate runs one local iteration: evaluate every pending delta tuple
+// through its variants, then distribute the derivations.
+func (w *worker) iterate() {
+	start := time.Now()
+	processed := 0
+	capped := (w.run.opts.MaxLocalIters > 0 && w.localIters >= int64(w.run.opts.MaxLocalIters)) ||
+		(w.run.opts.MaxTuples > 0 && w.run.det.Produced() > w.run.opts.MaxTuples)
+	for pi, paths := range w.replicas {
+		for path, rep := range paths {
+			if len(rep.delta) == 0 {
+				continue
+			}
+			delta := rep.takeDelta()
+			processed += len(delta)
+			if capped {
+				w.droppedDeltas = true
+				continue
+			}
+			variants := w.run.variants[pi][path]
+			for ti, t := range delta {
+				// Re-check the tuple budget periodically: diverging
+				// programs can explode inside a single iteration.
+				if w.run.opts.MaxTuples > 0 && ti%64 == 0 &&
+					w.run.det.Produced() > w.run.opts.MaxTuples {
+					w.droppedDeltas = true
+					break
+				}
+				for _, r := range variants {
+					if w.bindOuter(r, t) {
+						w.execOps(r, 0)
+					}
+				}
+			}
+		}
+	}
+	w.drainSelf()
+	w.flushAll()
+	w.service.Record(processed, time.Since(start).Seconds())
+	w.localIters++
+	w.run.clock.Advance(w.id)
+}

@@ -1,0 +1,646 @@
+// Package naive is a deliberately simple, single-threaded, semi-naive
+// Datalog evaluator that works directly on the AST. It exists as an
+// independent oracle: it shares no planning or execution code with the
+// parallel engine, so differential tests can check that the two agree
+// on randomized programs and datasets. It supports the same language
+// surface (recursion of all shapes, min/max/count/keyed-sum aggregates,
+// stratified negation, arithmetic, parameters).
+//
+// Caveat shared with the declarative semantics of keyed sums: a
+// sum<(C,V)> aggregate is only well-defined when each (group,
+// contributor) pair maps to one value. If two rules derive different
+// values for the same pair (e.g. PageRank on a graph with self-loops,
+// where the seed rule and the propagation rule share contributor X),
+// the naive evaluator oscillates between them and does not converge.
+package naive
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ast"
+	"repro/internal/pcg"
+	"repro/internal/storage"
+)
+
+// Evaluator runs programs against in-memory relations.
+type Evaluator struct {
+	analysis *pcg.Analysis
+	syms     *storage.SymbolTable
+	params   map[string]storage.Value
+
+	// rels maps every predicate to its current tuple set, keyed by the
+	// tuple hash with buckets for collisions.
+	rels map[string]*relation
+	// epsilon for float sums.
+	eps float64
+	// maxIters bounds fixpoint rounds per stratum (0 = unbounded).
+	maxIters int
+}
+
+// relation is a set of tuples with, for aggregated predicates, a
+// group → aggregate map and contributor tracking.
+type relation struct {
+	schema *storage.Schema
+	agg    storage.AggKind
+	// set semantics
+	set map[string]storage.Tuple
+	// aggregate semantics: group key string → value, plus contributor
+	// maps for count/sum.
+	groups  map[string]storage.Tuple // group key → full row (group+val)
+	contrib map[string]storage.Value // group||contributor → contribution
+}
+
+func key(t storage.Tuple) string {
+	b := make([]byte, 0, len(t)*8)
+	for _, v := range t {
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(v>>(8*i)))
+		}
+	}
+	return string(b)
+}
+
+func newRelation(schema *storage.Schema, agg storage.AggKind) *relation {
+	r := &relation{schema: schema, agg: agg}
+	if agg == storage.AggNone {
+		r.set = make(map[string]storage.Tuple)
+	} else {
+		r.groups = make(map[string]storage.Tuple)
+		if agg == storage.AggCount || agg == storage.AggSum {
+			r.contrib = make(map[string]storage.Value)
+		}
+	}
+	return r
+}
+
+// tuples returns the current contents.
+func (r *relation) tuples() []storage.Tuple {
+	if r.agg == storage.AggNone {
+		out := make([]storage.Tuple, 0, len(r.set))
+		for _, t := range r.set {
+			out = append(out, t)
+		}
+		return out
+	}
+	out := make([]storage.Tuple, 0, len(r.groups))
+	for _, t := range r.groups {
+		out = append(out, t)
+	}
+	return out
+}
+
+// merge folds a derivation; contributor is meaningful for count/sum.
+// It reports whether the relation changed.
+func (r *relation) merge(t storage.Tuple, contributor storage.Value, eps float64) bool {
+	switch r.agg {
+	case storage.AggNone:
+		k := key(t)
+		if _, ok := r.set[k]; ok {
+			return false
+		}
+		r.set[k] = t
+		return true
+	default:
+		groupLen := r.schema.Arity() - 1
+		valType := r.schema.ColType(groupLen)
+		gk := key(t[:groupLen])
+		cur, exists := r.groups[gk]
+		switch r.agg {
+		case storage.AggMin, storage.AggMax:
+			if !exists {
+				r.groups[gk] = t.Clone()
+				return true
+			}
+			c := storage.Compare(t[groupLen], cur[groupLen], valType)
+			if (r.agg == storage.AggMin && c < 0) || (r.agg == storage.AggMax && c > 0) {
+				cur[groupLen] = t[groupLen]
+				return true
+			}
+			return false
+		case storage.AggCount:
+			ck := gk + key(storage.Tuple{contributor})
+			if _, seen := r.contrib[ck]; seen {
+				return false
+			}
+			r.contrib[ck] = 1
+			if !exists {
+				row := t[:groupLen].Clone()
+				row = append(row, storage.IntVal(1))
+				r.groups[gk] = row
+				return true
+			}
+			cur[groupLen] = storage.IntVal(cur[groupLen].Int() + 1)
+			return true
+		case storage.AggSum:
+			ck := gk + key(storage.Tuple{contributor})
+			prev, seen := r.contrib[ck]
+			val := t[groupLen]
+			if seen && prev == val {
+				return false
+			}
+			r.contrib[ck] = val
+			if !exists {
+				row := t[:groupLen].Clone()
+				row = append(row, val)
+				r.groups[gk] = row
+				return true
+			}
+			if valType == storage.TFloat {
+				sum := cur[groupLen].Float() + val.Float()
+				if seen {
+					sum -= prev.Float()
+				}
+				old := cur[groupLen].Float()
+				cur[groupLen] = storage.FloatVal(sum)
+				return eps <= 0 || math.Abs(sum-old) > eps
+			}
+			sum := cur[groupLen].Int() + val.Int()
+			if seen {
+				sum -= prev.Int()
+			}
+			changed := sum != cur[groupLen].Int()
+			cur[groupLen] = storage.IntVal(sum)
+			return changed
+		}
+	}
+	return false
+}
+
+// Option configures the evaluator.
+type Option func(*Evaluator)
+
+// WithEpsilon sets the float-sum convergence threshold.
+func WithEpsilon(eps float64) Option { return func(e *Evaluator) { e.eps = eps } }
+
+// WithMaxIters bounds fixpoint rounds per stratum.
+func WithMaxIters(n int) Option { return func(e *Evaluator) { e.maxIters = n } }
+
+// Eval analyzes and evaluates a program. edb supplies the extensional
+// tuples; params the $parameter bindings (already encoded values with
+// their types).
+func Eval(analysis *pcg.Analysis, edb map[string][]storage.Tuple, syms *storage.SymbolTable,
+	params map[string]storage.Value, opts ...Option) (map[string][]storage.Tuple, error) {
+
+	e := &Evaluator{
+		analysis: analysis,
+		syms:     syms,
+		params:   params,
+		rels:     make(map[string]*relation),
+		eps:      1e-9,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.syms == nil {
+		e.syms = storage.NewSymbolTable()
+	}
+	for name := range analysis.EDB {
+		rel := newRelation(analysis.Schemas[name], storage.AggNone)
+		for _, t := range edb[name] {
+			rel.merge(t, 0, 0)
+		}
+		e.rels[name] = rel
+	}
+	for _, s := range analysis.Strata {
+		for _, p := range s.Preds {
+			e.rels[p] = newRelation(e.analysis.Schemas[p], e.analysis.Aggregates[p])
+		}
+		if err := e.evalStratum(s); err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string][]storage.Tuple)
+	for _, s := range analysis.Strata {
+		for _, p := range s.Preds {
+			out[p] = e.rels[p].tuples()
+		}
+	}
+	return out, nil
+}
+
+// evalStratum runs all rules of a stratum to fixpoint (one pass when
+// non-recursive). For simplicity the oracle re-derives everything each
+// round (naive rather than semi-naive); merges are idempotent, so this
+// only costs time.
+func (e *Evaluator) evalStratum(s *pcg.Stratum) error {
+	for round := 0; ; round++ {
+		if e.maxIters > 0 && round >= e.maxIters {
+			return nil
+		}
+		changed := false
+		for _, r := range s.Rules {
+			ch, err := e.evalRule(r)
+			if err != nil {
+				return err
+			}
+			changed = changed || ch
+		}
+		if !changed || !s.Recursive {
+			return nil
+		}
+	}
+}
+
+// binding maps variable names to values with their types.
+type binding struct {
+	vals  map[string]storage.Value
+	types map[string]storage.Type
+}
+
+// evalRule enumerates all satisfying bindings of the body and merges
+// head derivations.
+func (e *Evaluator) evalRule(r *ast.Rule) (bool, error) {
+	b := &binding{vals: map[string]storage.Value{}, types: map[string]storage.Type{}}
+	changed := false
+	err := e.evalBody(r, r.Body, b, func() error {
+		ch, err := e.emit(r, b)
+		if err != nil {
+			return err
+		}
+		changed = changed || ch
+		return nil
+	})
+	return changed, err
+}
+
+// evalBody picks the first schedulable literal (atoms always are;
+// conditions and negations once their variables are bound, equalities
+// also when they can bind a fresh variable), processes it, and recurses
+// on the rest. Safety analysis guarantees a schedulable literal exists.
+func (e *Evaluator) evalBody(r *ast.Rule, rest []ast.Literal, b *binding, emit func() error) error {
+	if len(rest) == 0 {
+		return emit()
+	}
+	pick := -1
+	for i, lit := range rest {
+		switch x := lit.(type) {
+		case *ast.Atom:
+			pick = i
+		case *ast.Negation:
+			if _, defer_ := e.negSatisfied(x, b); !defer_ {
+				pick = i
+			}
+		case *ast.Condition:
+			if _, defer_, err := e.condSatisfied(x, b); err == nil && !defer_ {
+				pick = i
+			}
+		}
+		if pick >= 0 {
+			break
+		}
+	}
+	if pick < 0 {
+		return fmt.Errorf("naive: cannot schedule %s (unbound variables)", rest[0])
+	}
+	lit := rest[pick]
+	remaining := make([]ast.Literal, 0, len(rest)-1)
+	remaining = append(remaining, rest[:pick]...)
+	remaining = append(remaining, rest[pick+1:]...)
+
+	switch x := lit.(type) {
+	case *ast.Atom:
+		rel := e.rels[x.Pred]
+		if rel == nil {
+			return fmt.Errorf("naive: unknown relation %s", x.Pred)
+		}
+		for _, t := range rel.tuples() {
+			saved := e.bindAtom(x, t, b)
+			if saved != nil {
+				if err := e.evalBody(r, remaining, b, emit); err != nil {
+					return err
+				}
+				e.unbind(saved, b)
+			}
+		}
+		return nil
+	case *ast.Negation:
+		ok, _ := e.negSatisfied(x, b)
+		if !ok {
+			return nil
+		}
+		return e.evalBody(r, remaining, b, emit)
+	case *ast.Condition:
+		res, _, err := e.condSatisfied(x, b)
+		if err != nil {
+			return err
+		}
+		if !res.ok {
+			return nil
+		}
+		if res.bindVar != "" {
+			b.vals[res.bindVar] = res.bindVal
+			b.types[res.bindVar] = res.bindType
+			if err := e.evalBody(r, remaining, b, emit); err != nil {
+				return err
+			}
+			delete(b.vals, res.bindVar)
+			delete(b.types, res.bindVar)
+			return nil
+		}
+		return e.evalBody(r, remaining, b, emit)
+	}
+	return fmt.Errorf("naive: unknown literal %T", lit)
+}
+
+// bindAtom matches a tuple against an atom's terms, extending the
+// binding; it returns the newly bound names (to undo) or nil on
+// mismatch.
+func (e *Evaluator) bindAtom(a *ast.Atom, t storage.Tuple, b *binding) []string {
+	schema := e.analysis.Schemas[a.Pred]
+	var bound []string
+	undo := func() []string {
+		for _, n := range bound {
+			delete(b.vals, n)
+			delete(b.types, n)
+		}
+		return nil
+	}
+	for i, term := range a.Args {
+		colType := schema.ColType(i)
+		switch x := term.(type) {
+		case *ast.Var:
+			if v, ok := b.vals[x.Name]; ok {
+				if !valuesEqual(v, b.types[x.Name], t[i], colType) {
+					return undo()
+				}
+				continue
+			}
+			b.vals[x.Name] = t[i]
+			b.types[x.Name] = colType
+			bound = append(bound, x.Name)
+		default:
+			v, vt, err := e.termValue(term, b)
+			if err != nil || !valuesEqual(v, vt, t[i], colType) {
+				return undo()
+			}
+		}
+	}
+	if bound == nil {
+		bound = []string{}
+	}
+	return bound
+}
+
+func (e *Evaluator) unbind(names []string, b *binding) {
+	for _, n := range names {
+		delete(b.vals, n)
+		delete(b.types, n)
+	}
+}
+
+// negSatisfied checks a negated atom; defer_ is true when some variable
+// is still unbound.
+func (e *Evaluator) negSatisfied(n *ast.Negation, b *binding) (ok, defer_ bool) {
+	for _, term := range n.Atom.Args {
+		if v, isVar := term.(*ast.Var); isVar {
+			if _, bound := b.vals[v.Name]; !bound {
+				return false, true
+			}
+		}
+	}
+	rel := e.rels[n.Atom.Pred]
+	if rel == nil {
+		return true, false
+	}
+	for _, t := range rel.tuples() {
+		if e.bindCheck(n.Atom, t, b) {
+			return false, false
+		}
+	}
+	return true, false
+}
+
+// bindCheck tests whether the tuple matches under the current binding
+// without extending it.
+func (e *Evaluator) bindCheck(a *ast.Atom, t storage.Tuple, b *binding) bool {
+	schema := e.analysis.Schemas[a.Pred]
+	for i, term := range a.Args {
+		v, vt, err := e.termValue(term, b)
+		if err != nil {
+			return false
+		}
+		if !valuesEqual(v, vt, t[i], schema.ColType(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+type condResult struct {
+	ok       bool
+	bindVar  string
+	bindVal  storage.Value
+	bindType storage.Type
+}
+
+// condSatisfied evaluates a comparison; an equality with exactly one
+// unbound variable side becomes a binding.
+func (e *Evaluator) condSatisfied(c *ast.Condition, b *binding) (condResult, bool, error) {
+	lOK := exprReady(c.L, b)
+	rOK := exprReady(c.R, b)
+	if c.Op == ast.Eq {
+		if lv, isVar := c.L.(*ast.Var); isVar && !lOK && rOK {
+			v, vt, err := e.exprValue(c.R, b)
+			if err != nil {
+				return condResult{}, false, err
+			}
+			return condResult{ok: true, bindVar: lv.Name, bindVal: v, bindType: vt}, false, nil
+		}
+		if rv, isVar := c.R.(*ast.Var); isVar && !rOK && lOK {
+			v, vt, err := e.exprValue(c.L, b)
+			if err != nil {
+				return condResult{}, false, err
+			}
+			return condResult{ok: true, bindVar: rv.Name, bindVal: v, bindType: vt}, false, nil
+		}
+	}
+	if !lOK || !rOK {
+		return condResult{}, true, nil
+	}
+	lv, lt, err := e.exprValue(c.L, b)
+	if err != nil {
+		return condResult{}, false, err
+	}
+	rv, rt, err := e.exprValue(c.R, b)
+	if err != nil {
+		return condResult{}, false, err
+	}
+	return condResult{ok: comparesTrue(c.Op, lv, lt, rv, rt)}, false, nil
+}
+
+func exprReady(x ast.Expr, b *binding) bool {
+	for _, v := range ast.Vars(x, nil) {
+		if _, ok := b.vals[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// emit builds the head derivation from a complete binding and merges.
+func (e *Evaluator) emit(r *ast.Rule, b *binding) (bool, error) {
+	head := r.Head
+	rel := e.rels[head.Pred]
+	schema := e.analysis.Schemas[head.Pred]
+	row := make(storage.Tuple, 0, len(head.Args))
+	var contributor storage.Value
+	for i, term := range head.Args {
+		if agg, ok := term.(*ast.Agg); ok {
+			var val storage.Value
+			if agg.Value != nil {
+				v, vt, err := e.termValue(agg.Value, b)
+				if err != nil {
+					return false, err
+				}
+				val = convert(v, vt, schema.ColType(i))
+			} else {
+				val = storage.IntVal(1)
+			}
+			if agg.Contributor != nil {
+				c, _, err := e.termValue(agg.Contributor, b)
+				if err != nil {
+					return false, err
+				}
+				contributor = c
+			}
+			row = append(row, val)
+			continue
+		}
+		v, vt, err := e.termValue(term, b)
+		if err != nil {
+			return false, err
+		}
+		row = append(row, convert(v, vt, schema.ColType(i)))
+	}
+	return rel.merge(row, contributor, e.eps), nil
+}
+
+// termValue resolves a term to a typed value under the binding.
+func (e *Evaluator) termValue(t ast.Term, b *binding) (storage.Value, storage.Type, error) {
+	switch x := t.(type) {
+	case *ast.Var:
+		v, ok := b.vals[x.Name]
+		if !ok {
+			return 0, 0, fmt.Errorf("naive: unbound variable %s", x.Name)
+		}
+		return v, b.types[x.Name], nil
+	case *ast.Num:
+		if x.IsFloat {
+			return storage.FloatVal(x.Float), storage.TFloat, nil
+		}
+		return storage.IntVal(x.Int), storage.TInt, nil
+	case *ast.Str:
+		return storage.SymVal(e.syms.Intern(x.Val)), storage.TSym, nil
+	case *ast.Param:
+		v, ok := e.params[x.Name]
+		if !ok {
+			return 0, 0, fmt.Errorf("naive: unbound parameter $%s", x.Name)
+		}
+		t, ok := e.analysis.ParamTypes[x.Name]
+		if !ok {
+			t = storage.TInt
+		}
+		return v, t, nil
+	default:
+		ex, ok := t.(ast.Expr)
+		if !ok {
+			return 0, 0, fmt.Errorf("naive: unexpected term %s", t)
+		}
+		return e.exprValue(ex, b)
+	}
+}
+
+// exprValue evaluates arithmetic with int→float promotion.
+func (e *Evaluator) exprValue(x ast.Expr, b *binding) (storage.Value, storage.Type, error) {
+	switch v := x.(type) {
+	case *ast.Bin:
+		lv, lt, err := e.exprValue(v.L, b)
+		if err != nil {
+			return 0, 0, err
+		}
+		rv, rt, err := e.exprValue(v.R, b)
+		if err != nil {
+			return 0, 0, err
+		}
+		if lt == storage.TFloat || rt == storage.TFloat {
+			a, c := lv.AsFloat(lt), rv.AsFloat(rt)
+			var out float64
+			switch v.Op {
+			case ast.Add:
+				out = a + c
+			case ast.Sub:
+				out = a - c
+			case ast.Mul:
+				out = a * c
+			case ast.Div:
+				out = a / c
+			}
+			return storage.FloatVal(out), storage.TFloat, nil
+		}
+		a, c := lv.Int(), rv.Int()
+		var out int64
+		switch v.Op {
+		case ast.Add:
+			out = a + c
+		case ast.Sub:
+			out = a - c
+		case ast.Mul:
+			out = a * c
+		case ast.Div:
+			if c != 0 {
+				out = a / c
+			}
+		}
+		return storage.IntVal(out), storage.TInt, nil
+	default:
+		return e.termValue(x.(ast.Term), b)
+	}
+}
+
+func valuesEqual(a storage.Value, at storage.Type, b storage.Value, bt storage.Type) bool {
+	if at == bt {
+		return a == b
+	}
+	if at == storage.TSym || bt == storage.TSym {
+		return false
+	}
+	return a.AsFloat(at) == b.AsFloat(bt)
+}
+
+func comparesTrue(op ast.CmpOp, l storage.Value, lt storage.Type, r storage.Value, rt storage.Type) bool {
+	var c int
+	if lt == storage.TFloat || rt == storage.TFloat {
+		a, b := l.AsFloat(lt), r.AsFloat(rt)
+		switch {
+		case a < b:
+			c = -1
+		case a > b:
+			c = 1
+		}
+	} else {
+		c = storage.Compare(l, r, lt)
+	}
+	switch op {
+	case ast.Eq:
+		return c == 0
+	case ast.Ne:
+		return c != 0
+	case ast.Lt:
+		return c < 0
+	case ast.Le:
+		return c <= 0
+	case ast.Gt:
+		return c > 0
+	case ast.Ge:
+		return c >= 0
+	}
+	return false
+}
+
+func convert(v storage.Value, from, to storage.Type) storage.Value {
+	if from == to {
+		return v
+	}
+	return storage.FromFloat(v.AsFloat(from), to)
+}

@@ -1,0 +1,151 @@
+package naive
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/pcg"
+	"repro/internal/storage"
+)
+
+func intSchema(name string, cols ...string) *storage.Schema {
+	cs := make([]storage.Column, len(cols))
+	for i, c := range cols {
+		cs[i] = storage.Column{Name: c, Type: storage.TInt}
+	}
+	return storage.NewSchema(name, cs...)
+}
+
+func eval(t *testing.T, src string, schemas map[string]*storage.Schema,
+	edb map[string][]storage.Tuple, params map[string]storage.Value,
+	paramTypes map[string]storage.Type, opts ...Option) map[string][]storage.Tuple {
+	t.Helper()
+	a, err := pcg.Analyze(parser.MustParse(src), schemas, paramTypes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Eval(a, edb, nil, params, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func rows(ts []storage.Tuple) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		s := ""
+		for j, v := range t {
+			if j > 0 {
+				s += ","
+			}
+			s += fmt.Sprint(v.Int())
+		}
+		out[i] = s
+	}
+	sort.Strings(out)
+	return out
+}
+
+func pairs(ps [][2]int64) []storage.Tuple {
+	out := make([]storage.Tuple, len(ps))
+	for i, p := range ps {
+		out[i] = storage.Tuple{storage.IntVal(p[0]), storage.IntVal(p[1])}
+	}
+	return out
+}
+
+func TestNaiveTC(t *testing.T) {
+	out := eval(t, `
+		tc(X, Y) :- arc(X, Y).
+		tc(X, Y) :- tc(X, Z), arc(Z, Y).
+	`, map[string]*storage.Schema{"arc": intSchema("arc", "x", "y")},
+		map[string][]storage.Tuple{"arc": pairs([][2]int64{{1, 2}, {2, 3}})}, nil, nil)
+	got := rows(out["tc"])
+	want := []string{"1,2", "1,3", "2,3"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("tc = %v", got)
+	}
+}
+
+func TestNaiveMinAggregate(t *testing.T) {
+	out := eval(t, `
+		cc2(Y, min<Y>) :- arc(Y, _).
+		cc2(Y, min<Z>) :- cc2(X, Z), arc(X, Y).
+	`, map[string]*storage.Schema{"arc": intSchema("arc", "x", "y")},
+		map[string][]storage.Tuple{"arc": pairs([][2]int64{{3, 5}, {5, 3}, {7, 9}, {9, 7}})}, nil, nil)
+	got := rows(out["cc2"])
+	want := []string{"3,3", "5,3", "7,7", "9,7"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("cc2 = %v", got)
+	}
+}
+
+func TestNaiveCountAndNegation(t *testing.T) {
+	out := eval(t, `
+		attend(X) :- organizer(X).
+		cnt(Y, count<X>) :- attend(X), friend(Y, X).
+		attend(X) :- cnt(X, N), N >= 2.
+		skipped(Y) :- friend(Y, _), !attend(Y).
+	`, map[string]*storage.Schema{
+		"organizer": intSchema("organizer", "x"),
+		"friend":    intSchema("friend", "y", "x"),
+	}, map[string][]storage.Tuple{
+		"organizer": {{storage.IntVal(1)}, {storage.IntVal(2)}},
+		"friend":    pairs([][2]int64{{10, 1}, {10, 2}, {11, 1}}),
+	}, nil, nil)
+	if fmt.Sprint(rows(out["attend"])) != "[1 10 2]" {
+		t.Fatalf("attend = %v", rows(out["attend"]))
+	}
+	if fmt.Sprint(rows(out["skipped"])) != "[11]" {
+		t.Fatalf("skipped = %v", rows(out["skipped"]))
+	}
+}
+
+func TestNaiveArithmeticAndParams(t *testing.T) {
+	out := eval(t, `
+		sp(To, min<C>) :- To = $start, C = 0.
+		sp(To2, min<C>) :- sp(To1, C1), warc(To1, To2, C2), C = C1 + C2.
+	`, map[string]*storage.Schema{"warc": intSchema("warc", "x", "y", "w")},
+		map[string][]storage.Tuple{"warc": {
+			{storage.IntVal(0), storage.IntVal(1), storage.IntVal(4)},
+			{storage.IntVal(1), storage.IntVal(2), storage.IntVal(3)},
+			{storage.IntVal(0), storage.IntVal(2), storage.IntVal(9)},
+		}},
+		map[string]storage.Value{"start": storage.IntVal(0)},
+		map[string]storage.Type{"start": storage.TInt})
+	got := rows(out["sp"])
+	want := []string{"0,0", "1,4", "2,7"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("sp = %v", got)
+	}
+}
+
+func TestNaiveMaxIters(t *testing.T) {
+	out := eval(t, `
+		num(X) :- X = 0.
+		num(Y) :- num(X), Y = X + 1, Y < 100000.
+	`, nil, nil, nil, nil, WithMaxIters(5))
+	if len(out["num"]) == 0 || len(out["num"]) >= 100000 {
+		t.Fatalf("num = %d rows", len(out["num"]))
+	}
+}
+
+func TestNaiveKeyedSum(t *testing.T) {
+	out := eval(t, `
+		total(G, sum<(C, V)>) :- obs(G, C, V).
+	`, map[string]*storage.Schema{"obs": intSchema("obs", "g", "c", "v")},
+		map[string][]storage.Tuple{"obs": {
+			{storage.IntVal(1), storage.IntVal(10), storage.IntVal(5)},
+			{storage.IntVal(1), storage.IntVal(11), storage.IntVal(7)},
+			{storage.IntVal(1), storage.IntVal(10), storage.IntVal(5)}, // duplicate contributor
+			{storage.IntVal(2), storage.IntVal(10), storage.IntVal(1)},
+		}}, nil, nil)
+	got := rows(out["total"])
+	want := []string{"1,12", "2,1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("total = %v", got)
+	}
+}

@@ -1,0 +1,358 @@
+// Package parser turns DCDatalog program text into the AST of package
+// ast. The grammar follows the paper's notation with ASCII spellings:
+//
+//	.decl arc(x:int, y:int)
+//	tc(X, Y) :- arc(X, Y).
+//	tc(X, Y) :- tc(X, Z), arc(Z, Y).
+//	cc2(Y, min<Z>) :- cc2(X, Z), arc(X, Y).
+//	sp(T, min<C>) :- sp(F, C1), warc(F, T, C2), C = C1 + C2.
+//
+// Both ":-" and "<-" introduce rule bodies; "%"- and "//"-comments run
+// to end of line; "_" is an anonymous variable; "$name" is a query
+// parameter bound at execution time.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tVariable // leading upper-case or underscore identifier
+	tInt
+	tFloat
+	tString
+	tParam  // $name
+	tLParen // (
+	tRParen // )
+	tComma  // ,
+	tPeriod // .
+	tArrow  // :- or <-
+	tLAngle // <
+	tRAngle // >
+	tEq     // =
+	tNe     // !=
+	tLe     // <=
+	tGe     // >=
+	tPlus   // +
+	tMinus  // -
+	tStar   // *
+	tSlash  // /
+	tBang   // !
+	tColon  // :
+	tDirective
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of input"
+	case tIdent:
+		return "identifier"
+	case tVariable:
+		return "variable"
+	case tInt:
+		return "integer"
+	case tFloat:
+		return "float"
+	case tString:
+		return "string"
+	case tParam:
+		return "parameter"
+	case tLParen:
+		return "'('"
+	case tRParen:
+		return "')'"
+	case tComma:
+		return "','"
+	case tPeriod:
+		return "'.'"
+	case tArrow:
+		return "':-'"
+	case tLAngle:
+		return "'<'"
+	case tRAngle:
+		return "'>'"
+	case tEq:
+		return "'='"
+	case tNe:
+		return "'!='"
+	case tLe:
+		return "'<='"
+	case tGe:
+		return "'>='"
+	case tPlus:
+		return "'+'"
+	case tMinus:
+		return "'-'"
+	case tStar:
+		return "'*'"
+	case tSlash:
+		return "'/'"
+	case tBang:
+		return "'!'"
+	case tColon:
+		return "':'"
+	case tDirective:
+		return "directive"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// token is one lexical unit with its source position.
+type token struct {
+	kind tokKind
+	text string
+	pos  ast.Position
+}
+
+// lexer scans program text into tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(pos ast.Position, format string, args ...any) error {
+	return fmt.Errorf("parse error at %s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '%':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	pos := ast.Position{Line: l.line, Col: l.col}
+	if l.off >= len(l.src) {
+		return token{kind: tEOF, pos: pos}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isAlpha(c):
+		start := l.off
+		for l.off < len(l.src) && (isAlpha(l.peekByte()) || isDigit(l.peekByte())) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		kind := tIdent
+		if text[0] == '_' || (text[0] >= 'A' && text[0] <= 'Z') {
+			kind = tVariable
+		}
+		return token{kind: kind, text: text, pos: pos}, nil
+	case isDigit(c):
+		return l.scanNumber(pos)
+	}
+	switch c {
+	case '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.off >= len(l.src) {
+				return token{}, l.errorf(pos, "unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' && l.off < len(l.src) {
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				default:
+					b.WriteByte(esc)
+				}
+				continue
+			}
+			b.WriteByte(ch)
+		}
+		return token{kind: tString, text: b.String(), pos: pos}, nil
+	case '$':
+		l.advance()
+		if !isAlpha(l.peekByte()) {
+			return token{}, l.errorf(pos, "'$' must introduce a parameter name")
+		}
+		start := l.off
+		for l.off < len(l.src) && (isAlpha(l.peekByte()) || isDigit(l.peekByte())) {
+			l.advance()
+		}
+		return token{kind: tParam, text: l.src[start:l.off], pos: pos}, nil
+	case '(':
+		l.advance()
+		return token{kind: tLParen, text: "(", pos: pos}, nil
+	case ')':
+		l.advance()
+		return token{kind: tRParen, text: ")", pos: pos}, nil
+	case ',':
+		l.advance()
+		return token{kind: tComma, text: ",", pos: pos}, nil
+	case '.':
+		l.advance()
+		if isAlpha(l.peekByte()) {
+			start := l.off
+			for l.off < len(l.src) && isAlpha(l.peekByte()) {
+				l.advance()
+			}
+			return token{kind: tDirective, text: l.src[start:l.off], pos: pos}, nil
+		}
+		return token{kind: tPeriod, text: ".", pos: pos}, nil
+	case ':':
+		l.advance()
+		if l.peekByte() == '-' {
+			l.advance()
+			return token{kind: tArrow, text: ":-", pos: pos}, nil
+		}
+		return token{kind: tColon, text: ":", pos: pos}, nil
+	case '<':
+		l.advance()
+		switch l.peekByte() {
+		case '-':
+			l.advance()
+			return token{kind: tArrow, text: "<-", pos: pos}, nil
+		case '=':
+			l.advance()
+			return token{kind: tLe, text: "<=", pos: pos}, nil
+		}
+		return token{kind: tLAngle, text: "<", pos: pos}, nil
+	case '>':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return token{kind: tGe, text: ">=", pos: pos}, nil
+		}
+		return token{kind: tRAngle, text: ">", pos: pos}, nil
+	case '=':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+		}
+		return token{kind: tEq, text: "=", pos: pos}, nil
+	case '!':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return token{kind: tNe, text: "!=", pos: pos}, nil
+		}
+		return token{kind: tBang, text: "!", pos: pos}, nil
+	case '+':
+		l.advance()
+		return token{kind: tPlus, text: "+", pos: pos}, nil
+	case '-':
+		l.advance()
+		return token{kind: tMinus, text: "-", pos: pos}, nil
+	case '*':
+		l.advance()
+		return token{kind: tStar, text: "*", pos: pos}, nil
+	case '/':
+		l.advance()
+		return token{kind: tSlash, text: "/", pos: pos}, nil
+	}
+	return token{}, l.errorf(pos, "unexpected character %q", string(c))
+}
+
+func (l *lexer) scanNumber(pos ast.Position) (token, error) {
+	start := l.off
+	for l.off < len(l.src) && isDigit(l.peekByte()) {
+		l.advance()
+	}
+	isFloat := false
+	if l.peekByte() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+	}
+	if c := l.peekByte(); c == 'e' || c == 'E' {
+		save := *l
+		l.advance()
+		if l.peekByte() == '+' || l.peekByte() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peekByte()) {
+			isFloat = true
+			for l.off < len(l.src) && isDigit(l.peekByte()) {
+				l.advance()
+			}
+		} else {
+			*l = save
+		}
+	}
+	text := l.src[start:l.off]
+	if isFloat {
+		if _, err := strconv.ParseFloat(text, 64); err != nil {
+			return token{}, l.errorf(pos, "bad float literal %q", text)
+		}
+		return token{kind: tFloat, text: text, pos: pos}, nil
+	}
+	if _, err := strconv.ParseInt(text, 10, 64); err != nil {
+		return token{}, l.errorf(pos, "bad integer literal %q", text)
+	}
+	return token{kind: tInt, text: text, pos: pos}, nil
+}

@@ -1,0 +1,470 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ast"
+)
+
+// Parse compiles DCDatalog program text into an AST.
+func Parse(src string) (*ast.Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseProgram()
+}
+
+// MustParse is Parse that panics on error, for tests and examples with
+// known-good program text.
+func MustParse(src string) *ast.Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type parser struct {
+	lex       *lexer
+	cur       token
+	wildcards int
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("parse error at %s: %s", p.cur.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokKind) (token, error) {
+	if p.cur.kind != kind {
+		return token{}, p.errorf("expected %s, found %s %q", kind, p.cur.kind, p.cur.text)
+	}
+	t := p.cur
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) parseProgram() (*ast.Program, error) {
+	prog := &ast.Program{}
+	for p.cur.kind != tEOF {
+		switch p.cur.kind {
+		case tDirective:
+			d, err := p.parseDirective()
+			if err != nil {
+				return nil, err
+			}
+			prog.Decls = append(prog.Decls, d)
+		case tIdent:
+			r, err := p.parseRule()
+			if err != nil {
+				return nil, err
+			}
+			prog.Rules = append(prog.Rules, r)
+		default:
+			return nil, p.errorf("expected a declaration or rule, found %s %q", p.cur.kind, p.cur.text)
+		}
+	}
+	return prog, nil
+}
+
+// parseDirective handles ".decl name(col:type, ...)".
+func (p *parser) parseDirective() (*ast.Decl, error) {
+	dir := p.cur
+	if dir.text != "decl" {
+		return nil, p.errorf("unknown directive .%s (only .decl is supported)", dir.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tLParen); err != nil {
+		return nil, err
+	}
+	d := &ast.Decl{Pos: dir.pos, Name: name.text}
+	for {
+		col, err := p.parseColDecl()
+		if err != nil {
+			return nil, err
+		}
+		d.Cols = append(d.Cols, col)
+		if p.cur.kind != tComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tRParen); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) parseColDecl() (ast.ColDecl, error) {
+	var name token
+	var err error
+	switch p.cur.kind {
+	case tIdent, tVariable:
+		name = p.cur
+		if err = p.advance(); err != nil {
+			return ast.ColDecl{}, err
+		}
+	default:
+		return ast.ColDecl{}, p.errorf("expected column name, found %s %q", p.cur.kind, p.cur.text)
+	}
+	if _, err := p.expect(tColon); err != nil {
+		return ast.ColDecl{}, err
+	}
+	ty, err := p.expect(tIdent)
+	if err != nil {
+		return ast.ColDecl{}, err
+	}
+	return ast.ColDecl{Name: name.text, Type: ty.text}, nil
+}
+
+// parseRule handles "head." and "head :- body."
+func (p *parser) parseRule() (*ast.Rule, error) {
+	head, err := p.parseAtom(true)
+	if err != nil {
+		return nil, err
+	}
+	r := &ast.Rule{Pos: head.Pos, Head: head}
+	if p.cur.kind == tArrow {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			r.Body = append(r.Body, lit)
+			if p.cur.kind != tComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(tPeriod); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (p *parser) parseLiteral() (ast.Literal, error) {
+	if p.cur.kind == tBang {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		a, err := p.parseAtom(false)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Negation{Atom: a}, nil
+	}
+	// An identifier directly followed by '(' is a relational atom; any
+	// other shape is a condition.
+	if p.cur.kind == tIdent {
+		save := *p // single-token lookahead via state copy
+		saveLex := *p.lex
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		isAtom := p.cur.kind == tLParen
+		*p = save
+		*p.lex = saveLex
+		if isAtom {
+			return p.parseAtom(false)
+		}
+	}
+	return p.parseCondition()
+}
+
+func (p *parser) parseCondition() (*ast.Condition, error) {
+	pos := p.cur.pos
+	l, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	var op ast.CmpOp
+	switch p.cur.kind {
+	case tEq:
+		op = ast.Eq
+	case tNe:
+		op = ast.Ne
+	case tLAngle:
+		op = ast.Lt
+	case tLe:
+		op = ast.Le
+	case tRAngle:
+		op = ast.Gt
+	case tGe:
+		op = ast.Ge
+	default:
+		return nil, p.errorf("expected a comparison operator, found %s %q", p.cur.kind, p.cur.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	r, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Condition{Pos: pos, Op: op, L: l, R: r}, nil
+}
+
+// parseAtom parses pred(arg, ...). Aggregate terms are legal only in
+// rule heads (allowAgg).
+func (p *parser) parseAtom(allowAgg bool) (*ast.Atom, error) {
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tLParen); err != nil {
+		return nil, err
+	}
+	a := &ast.Atom{Pos: name.pos, Pred: name.text}
+	for {
+		arg, err := p.parseArg(allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		a.Args = append(a.Args, arg)
+		if p.cur.kind != tComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tRParen); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (p *parser) parseArg(allowAgg bool) (ast.Term, error) {
+	if allowAgg && p.cur.kind == tIdent && ast.AggKindName[p.cur.text] {
+		// Distinguish the aggregate "min<...>" from a constant named
+		// "min": only the former is followed by '<'.
+		save := *p
+		saveLex := *p.lex
+		kind := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.cur.kind == tLAngle {
+			return p.parseAggTail(kind)
+		}
+		*p = save
+		*p.lex = saveLex
+	}
+	return p.parseTerm()
+}
+
+// parseAggTail parses the "<...>" following an aggregate keyword whose
+// '<' is the current token.
+func (p *parser) parseAggTail(kind string) (*ast.Agg, error) {
+	if err := p.advance(); err != nil { // consume '<'
+		return nil, err
+	}
+	agg := &ast.Agg{Kind: kind}
+	if p.cur.kind == tLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		contrib, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return nil, err
+		}
+		val, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		agg.Contributor, agg.Value = contrib, val
+	} else {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if kind == "count" {
+			agg.Contributor = t
+		} else {
+			agg.Value = t
+		}
+	}
+	if _, err := p.expect(tRAngle); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+func (p *parser) parseTerm() (ast.Term, error) {
+	switch p.cur.kind {
+	case tVariable:
+		name := p.cur.text
+		if name == "_" {
+			name = fmt.Sprintf("_w%d", p.wildcards)
+			p.wildcards++
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &ast.Var{Name: name}, nil
+	case tInt:
+		v, _ := strconv.ParseInt(p.cur.text, 10, 64)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &ast.Num{Int: v}, nil
+	case tFloat:
+		v, _ := strconv.ParseFloat(p.cur.text, 64)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &ast.Num{IsFloat: true, Float: v}, nil
+	case tMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		n, ok := t.(*ast.Num)
+		if !ok {
+			return nil, p.errorf("'-' in a term must precede a numeric literal")
+		}
+		n.Int, n.Float = -n.Int, -n.Float
+		return n, nil
+	case tString:
+		v := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &ast.Str{Val: v}, nil
+	case tParam:
+		name := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &ast.Param{Name: name}, nil
+	case tIdent:
+		// Lower-case identifiers in term position are symbol constants
+		// (classic Datalog), e.g. organizer(john).
+		v := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &ast.Str{Val: v}, nil
+	default:
+		return nil, p.errorf("expected a term, found %s %q", p.cur.kind, p.cur.text)
+	}
+}
+
+// parseExpr parses additive expressions.
+func (p *parser) parseExpr() (ast.Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.kind == tPlus || p.cur.kind == tMinus {
+		op := ast.Add
+		if p.cur.kind == tMinus {
+			op = ast.Sub
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Bin{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (ast.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.kind == tStar || p.cur.kind == tSlash {
+		op := ast.Mul
+		if p.cur.kind == tSlash {
+			op = ast.Div
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Bin{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	if p.cur.kind == tMinus {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Bin{Op: ast.Sub, L: &ast.Num{Int: 0}, R: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	if p.cur.kind == tLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	t, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	e, ok := t.(ast.Expr)
+	if !ok {
+		return nil, p.errorf("aggregates are not allowed inside expressions")
+	}
+	return e, nil
+}

@@ -1,0 +1,281 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+func TestParseTC(t *testing.T) {
+	prog, err := Parse(`
+		.decl arc(x:int, y:int)
+		tc(X, Y) :- arc(X, Y).
+		tc(X, Y) :- tc(X, Z), arc(Z, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Decls) != 1 || len(prog.Rules) != 2 {
+		t.Fatalf("got %d decls, %d rules", len(prog.Decls), len(prog.Rules))
+	}
+	d := prog.DeclFor("arc")
+	if d == nil || len(d.Cols) != 2 || d.Cols[0].Name != "x" || d.Cols[0].Type != "int" {
+		t.Fatalf("decl = %+v", d)
+	}
+	r := prog.Rules[1]
+	if r.Head.Pred != "tc" || len(r.Body) != 2 {
+		t.Fatalf("rule = %s", r)
+	}
+	if len(r.Atoms()) != 2 {
+		t.Fatal("body atoms")
+	}
+}
+
+func TestParseArrowVariant(t *testing.T) {
+	prog, err := Parse(`tc(X, Y) <- arc(X, Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 1 || len(prog.Rules[0].Body) != 1 {
+		t.Fatal("arrow variant not parsed")
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	prog, err := Parse(`
+		cc2(Y, min<Y>) :- arc(Y, _).
+		cc2(Y, min<Z>) :- cc2(X, Z), arc(X, Y).
+		delivery(P, max<D>) :- basic(P, D).
+		cnt(Y, count<X>) :- attend(X), friend(Y, X).
+		rank(X, sum<(Y, K)>) :- rank(Y, C), matrix(Y, X, D), K = C / D.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, pos := prog.Rules[0].Head.HeadAgg()
+	if agg == nil || agg.Kind != "min" || pos != 1 {
+		t.Fatalf("min agg = %+v at %d", agg, pos)
+	}
+	agg, _ = prog.Rules[3].Head.HeadAgg()
+	if agg.Kind != "count" || agg.Contributor == nil || agg.Value != nil {
+		t.Fatalf("count agg = %+v", agg)
+	}
+	agg, _ = prog.Rules[4].Head.HeadAgg()
+	if agg.Kind != "sum" || agg.Contributor == nil || agg.Value == nil {
+		t.Fatalf("keyed sum agg = %+v", agg)
+	}
+	if agg.Contributor.(*ast.Var).Name != "Y" || agg.Value.(*ast.Var).Name != "K" {
+		t.Fatalf("keyed sum parts = %s, %s", agg.Contributor, agg.Value)
+	}
+}
+
+func TestParseConditionsAndArithmetic(t *testing.T) {
+	prog, err := Parse(`
+		sp(To2, min<C>) :- sp(To1, C1), warc(To1, To2, C2), C = C1 + C2.
+		sg(X, Y) :- arc(P, X), arc(P, Y), X != Y.
+		attend(X) :- cnt(X, N), N >= 3.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := prog.Rules[0].Body[2].(*ast.Condition)
+	if cond.Op != ast.Eq {
+		t.Fatalf("op = %v", cond.Op)
+	}
+	bin, ok := cond.R.(*ast.Bin)
+	if !ok || bin.Op != ast.Add {
+		t.Fatalf("rhs = %s", cond.R)
+	}
+	if prog.Rules[1].Body[2].(*ast.Condition).Op != ast.Ne {
+		t.Fatal("!= not parsed")
+	}
+	if prog.Rules[2].Body[1].(*ast.Condition).Op != ast.Ge {
+		t.Fatal(">= not parsed")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := MustParse(`r(X) :- b(X, C, D), K = $alpha * (C / D) + 1.`)
+	cond := prog.Rules[0].Body[1].(*ast.Condition)
+	top := cond.R.(*ast.Bin)
+	if top.Op != ast.Add {
+		t.Fatalf("top op = %v, want +", top.Op)
+	}
+	mul := top.L.(*ast.Bin)
+	if mul.Op != ast.Mul {
+		t.Fatalf("left op = %v, want *", mul.Op)
+	}
+	if _, ok := mul.L.(*ast.Param); !ok {
+		t.Fatal("param not parsed")
+	}
+}
+
+func TestParseWildcardsAreUnique(t *testing.T) {
+	prog := MustParse(`p(X) :- q(X, _, _).`)
+	atom := prog.Rules[0].Body[0].(*ast.Atom)
+	a := atom.Args[1].(*ast.Var).Name
+	b := atom.Args[2].(*ast.Var).Name
+	if a == b {
+		t.Fatalf("wildcards share a name: %s", a)
+	}
+	if !strings.HasPrefix(a, "_") {
+		t.Fatalf("wildcard name %q", a)
+	}
+}
+
+func TestParseFactsAndConstants(t *testing.T) {
+	prog := MustParse(`
+		arc(1, 2).
+		attend(john).
+		weight(3, 4, 2.5).
+		neg(-7).
+	`)
+	if len(prog.Rules) != 4 {
+		t.Fatalf("rules = %d", len(prog.Rules))
+	}
+	if !prog.Rules[0].IsFact() {
+		t.Fatal("fact not recognized")
+	}
+	if s, ok := prog.Rules[1].Head.Args[0].(*ast.Str); !ok || s.Val != "john" {
+		t.Fatal("symbol constant not parsed")
+	}
+	if n, ok := prog.Rules[2].Head.Args[2].(*ast.Num); !ok || !n.IsFloat || n.Float != 2.5 {
+		t.Fatal("float literal not parsed")
+	}
+	if n := prog.Rules[3].Head.Args[0].(*ast.Num); n.Int != -7 {
+		t.Fatalf("negative literal = %d", n.Int)
+	}
+}
+
+func TestParseNegation(t *testing.T) {
+	prog := MustParse(`unreach(X) :- node(X), !tc(1, X).`)
+	neg, ok := prog.Rules[0].Body[1].(*ast.Negation)
+	if !ok || neg.Atom.Pred != "tc" {
+		t.Fatalf("negation = %v", prog.Rules[0].Body[1])
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	prog := MustParse(`
+		% transitive closure
+		tc(X, Y) :- arc(X, Y). // base rule
+		tc(X, Y) :- tc(X, Z), arc(Z, Y).
+	`)
+	if len(prog.Rules) != 2 {
+		t.Fatalf("rules = %d", len(prog.Rules))
+	}
+}
+
+func TestParseStringLiterals(t *testing.T) {
+	prog := MustParse(`name(1, "Alice \"A\"\n").`)
+	s := prog.Rules[0].Head.Args[1].(*ast.Str)
+	if s.Val != "Alice \"A\"\n" {
+		t.Fatalf("string = %q", s.Val)
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	prog := MustParse(`sp(To, min<C>) :- To = $start, C = 0.`)
+	cond := prog.Rules[0].Body[0].(*ast.Condition)
+	if p, ok := cond.R.(*ast.Param); !ok || p.Name != "start" {
+		t.Fatalf("param = %v", cond.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`tc(X, Y)`,                  // missing period
+		`tc(X, Y :- arc(X, Y).`,     // unbalanced paren
+		`.declx foo(x:int)`,         // unknown directive
+		`tc(X) :- arc(X, .`,         // dangling comma
+		`tc(X) :- X ~ 3.`,           // bad operator
+		`tc(min<X>, Y) :- a(X,Y)`,   // missing final period
+		`"dangling`,                 // unterminated string at top level
+		`p(X) :- q(X), N >= .`,      // missing operand
+		`p($) :- q(1).`,             // bad parameter
+		`p(X) :- q(X), min<X> = 3.`, // aggregate outside head
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("tc(X, Y) :- arc(X Y).")
+	if err == nil || !strings.Contains(err.Error(), "1:") {
+		t.Fatalf("error should carry a position, got %v", err)
+	}
+}
+
+func TestProgramRoundTripReparses(t *testing.T) {
+	src := `
+		.decl warc(a:int, b:int, c:float)
+		sp(To2, min<C>) :- sp(To1, C1), warc(To1, To2, C2), C = C1 + C2.
+		rank(X, sum<(Y, K)>) :- rank(Y, C), matrix(Y, X, D), K = $alpha * (C / D).
+		sg(X, Y) :- arc(P, X), arc(P, Y), X != Y.
+		unreach(X) :- node(X), !tc(1, X).
+	`
+	prog := MustParse(src)
+	again, err := Parse(prog.String())
+	if err != nil {
+		t.Fatalf("rendered program failed to reparse: %v\n%s", err, prog.String())
+	}
+	if prog.String() != again.String() {
+		t.Fatalf("round trip not stable:\n%s\nvs\n%s", prog.String(), again.String())
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse(`broken(`)
+}
+
+func TestScientificNotation(t *testing.T) {
+	prog := MustParse(`p(X) :- q(X, E), E < 1e-9.`)
+	cond := prog.Rules[0].Body[1].(*ast.Condition)
+	n := cond.R.(*ast.Num)
+	if !n.IsFloat || n.Float != 1e-9 {
+		t.Fatalf("literal = %+v", n)
+	}
+}
+
+// TestParseNeverPanics feeds random byte soup to the parser: it must
+// return errors, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on %q: %v", s, r)
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// And some adversarial near-valid programs.
+	for _, s := range []string{
+		"p(", "p(X", "p(X)", "p(X) :-", "p(X) :- q(", "p(X) :- q(X),",
+		"p(min<", "p(min<X", "p(min<X>", "p(sum<(X", "p(sum<(X,Y",
+		".decl", ".decl p", ".decl p(", ".decl p(x", ".decl p(x:",
+		"$", "$x", "p($x) :- q(1). extra", "p(X) :- X = .",
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("panic on %q: %v", s, r)
+				}
+			}()
+			_, _ = Parse(s)
+		}()
+	}
+}

@@ -1,0 +1,96 @@
+package pcg
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// The AND/OR tree is the classic deductive-database view of a program
+// (paper §3: the Datalog Parser "generates its Predicated Connected
+// Graph, which is implemented with the data structure of AND/OR Tree"):
+// an OR node per derived predicate whose children are AND nodes, one
+// per defining rule, whose children are in turn the OR nodes (or EDB
+// leaves) of the body predicates. Recursive descent stops at
+// back-edges, which are marked instead of expanded.
+
+// NodeKind discriminates AND/OR tree nodes.
+type NodeKind uint8
+
+const (
+	// OrNode represents a predicate; its children derive it.
+	OrNode NodeKind = iota
+	// AndNode represents one rule; its children are its body atoms.
+	AndNode
+	// LeafNode is an EDB predicate.
+	LeafNode
+)
+
+// Node is one vertex of the AND/OR tree.
+type Node struct {
+	Kind NodeKind
+	// Pred is the predicate name (OR/leaf nodes).
+	Pred string
+	// Rule is the defining rule (AND nodes).
+	Rule *ast.Rule
+	// Recursive marks a back-edge: an OR node referring to a predicate
+	// already open on the path to the root.
+	Recursive bool
+	Children  []*Node
+}
+
+// AndOrTree builds the tree rooted at the given predicate.
+func (a *Analysis) AndOrTree(root string) *Node {
+	open := make(map[string]bool)
+	return a.buildNode(root, open)
+}
+
+func (a *Analysis) buildNode(pred string, open map[string]bool) *Node {
+	if a.EDB[pred] {
+		return &Node{Kind: LeafNode, Pred: pred}
+	}
+	if open[pred] {
+		return &Node{Kind: OrNode, Pred: pred, Recursive: true}
+	}
+	open[pred] = true
+	defer delete(open, pred)
+	or := &Node{Kind: OrNode, Pred: pred}
+	for _, r := range a.Program.Rules {
+		if r.Head.Pred != pred {
+			continue
+		}
+		and := &Node{Kind: AndNode, Rule: r}
+		for _, atom := range r.Atoms() {
+			and.Children = append(and.Children, a.buildNode(atom.Pred, open))
+		}
+		or.Children = append(or.Children, and)
+	}
+	return or
+}
+
+// String renders the tree with indentation for EXPLAIN output.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch n.Kind {
+	case OrNode:
+		tag := ""
+		if n.Recursive {
+			tag = " (recursive ref)"
+		}
+		fmt.Fprintf(b, "%sOR %s%s\n", indent, n.Pred, tag)
+	case AndNode:
+		fmt.Fprintf(b, "%sAND %s\n", indent, n.Rule)
+	case LeafNode:
+		fmt.Fprintf(b, "%sEDB %s\n", indent, n.Pred)
+	}
+	for _, c := range n.Children {
+		c.render(b, depth+1)
+	}
+}

@@ -1,0 +1,439 @@
+// Package pcg performs the semantic analysis stage of the Query
+// Processor (paper §3, §5): it builds the predicate connection graph of
+// a parsed program, identifies recursive cliques with Tarjan's SCC
+// algorithm, orders them into bottom-up strata, classifies recursion as
+// linear / non-linear / mutual, checks rule safety and the "no negation
+// inside recursion" restriction, infers IDB schemas, and exposes the
+// AND/OR tree view used by EXPLAIN output.
+package pcg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// Stratum is one evaluation unit: a maximal set of mutually recursive
+// predicates (or a single non-recursive predicate) plus the rules that
+// define them.
+type Stratum struct {
+	// Preds lists the predicates defined in this stratum, sorted.
+	Preds []string
+	// Recursive reports whether any rule in the stratum depends on a
+	// predicate of the same stratum.
+	Recursive bool
+	// Mutual reports whether the stratum contains two or more
+	// predicates (mutual recursion, paper §4.3 Query 4).
+	Mutual bool
+	// NonLinear reports whether some rule has two or more recursive
+	// body atoms (paper §4.3 Query 3).
+	NonLinear bool
+	// Rules are the defining rules, in program order.
+	Rules []*ast.Rule
+}
+
+// RuleInfo is the per-rule metadata the planner consumes.
+type RuleInfo struct {
+	Rule *ast.Rule
+	// RecursiveAtoms indexes the body atoms whose predicate belongs to
+	// the rule's own stratum.
+	RecursiveAtoms []int
+	// Agg is the head aggregate, if any (always the last argument).
+	Agg *ast.Agg
+}
+
+// Analysis is the result of analyzing a program against a set of known
+// EDB schemas.
+type Analysis struct {
+	Program *ast.Program
+	// Schemas maps every predicate (EDB and IDB) to its typed schema.
+	Schemas map[string]*storage.Schema
+	// EDB marks the extensional predicates (never defined by a rule).
+	EDB map[string]bool
+	// Aggregates maps aggregated IDB predicates to their kind.
+	Aggregates map[string]storage.AggKind
+	// Strata lists evaluation units bottom-up.
+	Strata []*Stratum
+	// ParamTypes records the type of every $parameter referenced.
+	ParamTypes map[string]storage.Type
+	// strataOf maps a predicate to its stratum index.
+	strataOf map[string]int
+}
+
+// StratumOf returns the index of the stratum defining pred, or -1 for
+// EDB predicates.
+func (a *Analysis) StratumOf(pred string) int {
+	if i, ok := a.strataOf[pred]; ok {
+		return i
+	}
+	return -1
+}
+
+// RuleInfoFor computes planner metadata for a rule belonging to the
+// given stratum.
+func (a *Analysis) RuleInfoFor(s *Stratum, r *ast.Rule) RuleInfo {
+	info := RuleInfo{Rule: r}
+	inStratum := make(map[string]bool, len(s.Preds))
+	for _, p := range s.Preds {
+		inStratum[p] = true
+	}
+	for i, l := range r.Body {
+		if atom, ok := l.(*ast.Atom); ok && inStratum[atom.Pred] {
+			info.RecursiveAtoms = append(info.RecursiveAtoms, i)
+		}
+	}
+	info.Agg, _ = r.Head.HeadAgg()
+	return info
+}
+
+// Analyze validates prog and computes its evaluation structure. Known
+// EDB schemas come from relations already registered with the database;
+// declarations inside the program add to them. paramTypes gives the
+// type of each $parameter supplied for this query.
+func Analyze(prog *ast.Program, edbSchemas map[string]*storage.Schema, paramTypes map[string]storage.Type) (*Analysis, error) {
+	a := &Analysis{
+		Program:    prog,
+		Schemas:    make(map[string]*storage.Schema),
+		EDB:        make(map[string]bool),
+		Aggregates: make(map[string]storage.AggKind),
+		ParamTypes: make(map[string]storage.Type),
+		strataOf:   make(map[string]int),
+	}
+	for name, s := range edbSchemas {
+		a.Schemas[name] = s
+	}
+	for name, t := range paramTypes {
+		a.ParamTypes[name] = t
+	}
+	for _, d := range prog.Decls {
+		sch, err := declSchema(d)
+		if err != nil {
+			return nil, err
+		}
+		a.Schemas[d.Name] = sch
+	}
+
+	idb := make(map[string]bool)
+	for _, r := range prog.Rules {
+		idb[r.Head.Pred] = true
+	}
+	// Every referenced predicate not defined by a rule is extensional.
+	for _, r := range prog.Rules {
+		for _, l := range r.Body {
+			var atom *ast.Atom
+			switch x := l.(type) {
+			case *ast.Atom:
+				atom = x
+			case *ast.Negation:
+				atom = x.Atom
+			default:
+				continue
+			}
+			if !idb[atom.Pred] {
+				a.EDB[atom.Pred] = true
+				if _, known := a.Schemas[atom.Pred]; !known {
+					return nil, fmt.Errorf("%s: relation %q is not declared and not loaded", atom.Pos, atom.Pred)
+				}
+			}
+		}
+	}
+
+	if err := a.checkArities(); err != nil {
+		return nil, err
+	}
+	if err := a.checkAggregates(); err != nil {
+		return nil, err
+	}
+	if err := a.checkSafety(); err != nil {
+		return nil, err
+	}
+	if err := a.buildStrata(idb); err != nil {
+		return nil, err
+	}
+	if err := a.inferSchemas(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func declSchema(d *ast.Decl) (*storage.Schema, error) {
+	cols := make([]storage.Column, len(d.Cols))
+	for i, c := range d.Cols {
+		t, err := storage.ParseType(c.Type)
+		if err != nil {
+			return nil, fmt.Errorf("%s: column %s of %s: %v", d.Pos, c.Name, d.Name, err)
+		}
+		cols[i] = storage.Column{Name: c.Name, Type: t}
+	}
+	return storage.NewSchema(d.Name, cols...), nil
+}
+
+// checkArities verifies that every predicate is used with one arity
+// throughout the program and matches its declaration when present.
+func (a *Analysis) checkArities() error {
+	arity := make(map[string]int)
+	for name, s := range a.Schemas {
+		arity[name] = s.Arity()
+	}
+	check := func(atom *ast.Atom) error {
+		if n, ok := arity[atom.Pred]; ok {
+			if n != len(atom.Args) {
+				return fmt.Errorf("%s: %s used with arity %d, elsewhere %d", atom.Pos, atom.Pred, len(atom.Args), n)
+			}
+		} else {
+			arity[atom.Pred] = len(atom.Args)
+		}
+		return nil
+	}
+	for _, r := range a.Program.Rules {
+		if err := check(r.Head); err != nil {
+			return err
+		}
+		for _, l := range r.Body {
+			switch x := l.(type) {
+			case *ast.Atom:
+				if err := check(x); err != nil {
+					return err
+				}
+			case *ast.Negation:
+				if err := check(x.Atom); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkAggregates enforces the shape the engine supports: an aggregate
+// must be the final head argument, and every rule of an aggregated
+// predicate must use the same aggregate kind.
+func (a *Analysis) checkAggregates() error {
+	for _, r := range a.Program.Rules {
+		agg, pos := r.Head.HeadAgg()
+		if agg == nil {
+			continue
+		}
+		if pos != len(r.Head.Args)-1 {
+			return fmt.Errorf("%s: aggregate %s must be the last argument of %s", r.Pos, agg, r.Head.Pred)
+		}
+		for i, t := range r.Head.Args {
+			if _, ok := t.(*ast.Agg); ok && i != pos {
+				return fmt.Errorf("%s: %s has more than one aggregate", r.Pos, r.Head.Pred)
+			}
+		}
+		var kind storage.AggKind
+		switch agg.Kind {
+		case "min":
+			kind = storage.AggMin
+		case "max":
+			kind = storage.AggMax
+		case "count":
+			kind = storage.AggCount
+		case "sum":
+			kind = storage.AggSum
+		}
+		if prev, ok := a.Aggregates[r.Head.Pred]; ok && prev != kind {
+			return fmt.Errorf("%s: %s mixes %s and %s aggregates", r.Pos, r.Head.Pred, prev, kind)
+		}
+		a.Aggregates[r.Head.Pred] = kind
+	}
+	// Mixed aggregated / plain heads for one predicate are rejected.
+	for _, r := range a.Program.Rules {
+		if kind, ok := a.Aggregates[r.Head.Pred]; ok {
+			if agg, _ := r.Head.HeadAgg(); agg == nil {
+				return fmt.Errorf("%s: %s is aggregated (%s) but this rule's head has no aggregate", r.Pos, r.Head.Pred, kind)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSafety verifies that every variable needed by a rule head,
+// negation or comparison is bound by a positive body atom or derivable
+// through a chain of equality bindings.
+func (a *Analysis) checkSafety() error {
+	for _, r := range a.Program.Rules {
+		bound := make(map[string]bool)
+		for _, l := range r.Body {
+			if atom, ok := l.(*ast.Atom); ok {
+				for _, t := range atom.Args {
+					if v, ok := t.(*ast.Var); ok {
+						bound[v.Name] = true
+					}
+				}
+			}
+		}
+		// Equality conditions bind their variable side once the other
+		// side is fully bound; iterate to fixpoint.
+		for changed := true; changed; {
+			changed = false
+			for _, l := range r.Body {
+				c, ok := l.(*ast.Condition)
+				if !ok || c.Op != ast.Eq {
+					continue
+				}
+				if v, ok := c.L.(*ast.Var); ok && !bound[v.Name] && exprBound(c.R, bound) {
+					bound[v.Name] = true
+					changed = true
+				}
+				if v, ok := c.R.(*ast.Var); ok && !bound[v.Name] && exprBound(c.L, bound) {
+					bound[v.Name] = true
+					changed = true
+				}
+			}
+		}
+		need := func(names []string, what string) error {
+			for _, n := range names {
+				if !bound[n] {
+					return fmt.Errorf("%s: variable %s in %s of rule for %s is not bound by the body", r.Pos, n, what, r.Head.Pred)
+				}
+			}
+			return nil
+		}
+		var headVars []string
+		for _, t := range r.Head.Args {
+			switch x := t.(type) {
+			case *ast.Var:
+				headVars = append(headVars, x.Name)
+			case *ast.Agg:
+				if v, ok := x.Value.(*ast.Var); ok {
+					headVars = append(headVars, v.Name)
+				}
+				if v, ok := x.Contributor.(*ast.Var); ok {
+					headVars = append(headVars, v.Name)
+				}
+			}
+		}
+		if err := need(headVars, "the head"); err != nil {
+			return err
+		}
+		for _, l := range r.Body {
+			switch x := l.(type) {
+			case *ast.Negation:
+				var vs []string
+				for _, t := range x.Atom.Args {
+					if v, ok := t.(*ast.Var); ok {
+						vs = append(vs, v.Name)
+					}
+				}
+				if err := need(vs, "a negation"); err != nil {
+					return err
+				}
+			case *ast.Condition:
+				if x.Op == ast.Eq {
+					continue // handled by the binding pass
+				}
+				vs := ast.Vars(x.L, nil)
+				vs = ast.Vars(x.R, vs)
+				if err := need(vs, "a comparison"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func exprBound(e ast.Expr, bound map[string]bool) bool {
+	for _, v := range ast.Vars(e, nil) {
+		if !bound[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildStrata computes the SCC condensation of the predicate
+// connection graph and rejects negation inside a recursive clique.
+func (a *Analysis) buildStrata(idb map[string]bool) error {
+	preds := make([]string, 0, len(idb))
+	for p := range idb {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	id := make(map[string]int, len(preds))
+	for i, p := range preds {
+		id[p] = i
+	}
+	adj := make([][]int, len(preds))
+	type negEdge struct {
+		from, to string
+		pos      ast.Position
+	}
+	var negs []negEdge
+	for _, r := range a.Program.Rules {
+		h := id[r.Head.Pred]
+		for _, l := range r.Body {
+			switch x := l.(type) {
+			case *ast.Atom:
+				if b, ok := id[x.Pred]; ok {
+					adj[h] = append(adj[h], b)
+				}
+			case *ast.Negation:
+				if b, ok := id[x.Atom.Pred]; ok {
+					adj[h] = append(adj[h], b)
+					negs = append(negs, negEdge{x.Atom.Pred, r.Head.Pred, x.Atom.Pos})
+				}
+			}
+		}
+	}
+	sccs := tarjan(len(preds), adj)
+
+	selfLoop := make(map[string]bool)
+	for _, r := range a.Program.Rules {
+		for _, atom := range r.Atoms() {
+			if atom.Pred == r.Head.Pred {
+				selfLoop[r.Head.Pred] = true
+			}
+		}
+	}
+
+	for _, comp := range sccs {
+		s := &Stratum{}
+		inComp := make(map[string]bool, len(comp))
+		for _, v := range comp {
+			s.Preds = append(s.Preds, preds[v])
+			inComp[preds[v]] = true
+		}
+		sort.Strings(s.Preds)
+		s.Mutual = len(comp) > 1
+		s.Recursive = s.Mutual
+		for _, p := range s.Preds {
+			if selfLoop[p] {
+				s.Recursive = true
+			}
+		}
+		for _, r := range a.Program.Rules {
+			if !inComp[r.Head.Pred] {
+				continue
+			}
+			s.Rules = append(s.Rules, r)
+			rec := 0
+			for _, atom := range r.Atoms() {
+				if inComp[atom.Pred] && (s.Mutual || atom.Pred == r.Head.Pred) {
+					rec++
+				}
+			}
+			if rec >= 2 {
+				s.NonLinear = true
+			}
+		}
+		idx := len(a.Strata)
+		for _, p := range s.Preds {
+			a.strataOf[p] = idx
+		}
+		a.Strata = append(a.Strata, s)
+	}
+
+	// Stratified negation: the negated predicate must not share a
+	// stratum with the rule head (no negation inside recursion).
+	for _, e := range negs {
+		if a.strataOf[e.from] == a.strataOf[e.to] {
+			return fmt.Errorf("%s: negation of %s inside the recursion defining %s is not supported (programs must be negation-stratified)", e.pos, e.from, e.to)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package pcg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+func arcSchema() map[string]*storage.Schema {
+	return map[string]*storage.Schema{
+		"arc": storage.NewSchema("arc",
+			storage.Column{Name: "x", Type: storage.TInt},
+			storage.Column{Name: "y", Type: storage.TInt}),
+	}
+}
+
+func analyze(t *testing.T, src string, schemas map[string]*storage.Schema) *Analysis {
+	t.Helper()
+	a, err := Analyze(parser.MustParse(src), schemas, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAnalyzeTC(t *testing.T) {
+	a := analyze(t, `
+		tc(X, Y) :- arc(X, Y).
+		tc(X, Y) :- tc(X, Z), arc(Z, Y).
+	`, arcSchema())
+	if len(a.Strata) != 1 {
+		t.Fatalf("strata = %d, want 1", len(a.Strata))
+	}
+	s := a.Strata[0]
+	if !s.Recursive || s.Mutual || s.NonLinear {
+		t.Fatalf("stratum flags = %+v", s)
+	}
+	if !a.EDB["arc"] || a.EDB["tc"] {
+		t.Fatal("EDB classification wrong")
+	}
+	if got := a.Schemas["tc"]; got.Arity() != 2 || got.ColType(0) != storage.TInt {
+		t.Fatalf("tc schema = %v", got)
+	}
+}
+
+func TestAnalyzeStrataOrder(t *testing.T) {
+	a := analyze(t, `
+		tc(X, Y) :- arc(X, Y).
+		tc(X, Y) :- tc(X, Z), arc(Z, Y).
+		two_hop(X, Y) :- tc(X, Z), tc(Z, Y).
+	`, arcSchema())
+	if len(a.Strata) != 2 {
+		t.Fatalf("strata = %d, want 2", len(a.Strata))
+	}
+	if a.StratumOf("tc") != 0 || a.StratumOf("two_hop") != 1 {
+		t.Fatalf("order: tc=%d two_hop=%d", a.StratumOf("tc"), a.StratumOf("two_hop"))
+	}
+	if a.Strata[1].Recursive {
+		t.Fatal("two_hop is not recursive")
+	}
+	if a.StratumOf("arc") != -1 {
+		t.Fatal("EDB has no stratum")
+	}
+}
+
+func TestAnalyzeMutualRecursion(t *testing.T) {
+	a := analyze(t, `
+		attend(X) :- organizer(X).
+		cnt(Y, count<X>) :- attend(X), friend(Y, X).
+		attend(X) :- cnt(X, N), N >= 3.
+	`, map[string]*storage.Schema{
+		"organizer": storage.NewSchema("organizer", storage.Column{Name: "x", Type: storage.TInt}),
+		"friend": storage.NewSchema("friend",
+			storage.Column{Name: "y", Type: storage.TInt},
+			storage.Column{Name: "x", Type: storage.TInt}),
+	})
+	var rec *Stratum
+	for _, s := range a.Strata {
+		if s.Recursive {
+			rec = s
+		}
+	}
+	if rec == nil || !rec.Mutual || len(rec.Preds) != 2 {
+		t.Fatalf("mutual stratum = %+v", rec)
+	}
+	if a.Aggregates["cnt"] != storage.AggCount {
+		t.Fatalf("cnt aggregate = %v", a.Aggregates["cnt"])
+	}
+}
+
+func TestAnalyzeNonLinear(t *testing.T) {
+	a := analyze(t, `
+		path(A, B, min<D>) :- warc(A, B, D).
+		path(A, B, min<D>) :- path(A, C, D1), path(C, B, D2), D = D1 + D2.
+	`, map[string]*storage.Schema{
+		"warc": storage.NewSchema("warc",
+			storage.Column{Name: "a", Type: storage.TInt},
+			storage.Column{Name: "b", Type: storage.TInt},
+			storage.Column{Name: "d", Type: storage.TInt}),
+	})
+	s := a.Strata[0]
+	if !s.Recursive || !s.NonLinear || s.Mutual {
+		t.Fatalf("flags = %+v", s)
+	}
+	info := a.RuleInfoFor(s, s.Rules[1])
+	if len(info.RecursiveAtoms) != 2 {
+		t.Fatalf("recursive atoms = %v", info.RecursiveAtoms)
+	}
+	if a.Aggregates["path"] != storage.AggMin {
+		t.Fatal("path aggregate")
+	}
+}
+
+func TestAnalyzeTypeInferenceFloat(t *testing.T) {
+	a, err := Analyze(parser.MustParse(`
+		rank(X, sum<(X, I)>) :- matrix(X, _, _), I = (1 - $alpha) / $vnum.
+		rank(X, sum<(Y, K)>) :- rank(Y, C), matrix(Y, X, D), K = $alpha * (C / D).
+	`), map[string]*storage.Schema{
+		"matrix": storage.NewSchema("matrix",
+			storage.Column{Name: "x", Type: storage.TInt},
+			storage.Column{Name: "y", Type: storage.TInt},
+			storage.Column{Name: "d", Type: storage.TFloat}),
+	}, map[string]storage.Type{"alpha": storage.TFloat, "vnum": storage.TFloat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Schemas["rank"].ColType(1); got != storage.TFloat {
+		t.Fatalf("rank value type = %v, want float", got)
+	}
+	if got := a.Schemas["rank"].ColType(0); got != storage.TInt {
+		t.Fatalf("rank key type = %v, want int", got)
+	}
+}
+
+func TestAnalyzeSafetyViolations(t *testing.T) {
+	cases := []string{
+		`p(X, Y) :- arc(X, Z).`,                   // head var Y unbound
+		`p(X) :- arc(X, Y), Z > 3.`,               // comparison var unbound
+		`p(X) :- arc(X, Y), !arc(Y, Z2), Z2 = W.`, // negation + unbound chain
+	}
+	for _, src := range cases {
+		if _, err := Analyze(parser.MustParse(src), arcSchema(), nil); err == nil {
+			t.Errorf("Analyze(%q) should fail", src)
+		}
+	}
+	// A head variable bound through an equality chain is safe (SSSP
+	// base rule).
+	if _, err := Analyze(parser.MustParse(`sp(To, min<C>) :- To = $start, C = 0.`), nil,
+		map[string]storage.Type{"start": storage.TInt}); err != nil {
+		t.Errorf("equality-bound head should be safe: %v", err)
+	}
+}
+
+func TestAnalyzeRejectsNegationInRecursion(t *testing.T) {
+	_, err := Analyze(parser.MustParse(`
+		win(X) :- move(X, Y), !win(Y).
+	`), map[string]*storage.Schema{
+		"move": storage.NewSchema("move",
+			storage.Column{Name: "x", Type: storage.TInt},
+			storage.Column{Name: "y", Type: storage.TInt}),
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "negation") {
+		t.Fatalf("err = %v, want negation-in-recursion rejection", err)
+	}
+}
+
+func TestAnalyzeAllowsStratifiedNegation(t *testing.T) {
+	a := analyze(t, `
+		tc(X, Y) :- arc(X, Y).
+		tc(X, Y) :- tc(X, Z), arc(Z, Y).
+		unreach(X, Y) :- arc(X, _), arc(Y, _), !tc(X, Y).
+	`, arcSchema())
+	if a.StratumOf("unreach") <= a.StratumOf("tc") {
+		t.Fatal("negating stratum must come after the negated one")
+	}
+}
+
+func TestAnalyzeRejectsUndeclaredEDB(t *testing.T) {
+	_, err := Analyze(parser.MustParse(`p(X) :- mystery(X).`), nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "mystery") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAnalyzeRejectsArityMismatch(t *testing.T) {
+	_, err := Analyze(parser.MustParse(`
+		p(X) :- arc(X, Y).
+		p(X, Y) :- arc(X, Y).
+	`), arcSchema(), nil)
+	if err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAnalyzeRejectsMixedAggregates(t *testing.T) {
+	_, err := Analyze(parser.MustParse(`
+		d(P, max<D>) :- arc(P, D).
+		d(P, min<D>) :- arc(P, D).
+	`), arcSchema(), nil)
+	if err == nil {
+		t.Fatal("mixed min/max should be rejected")
+	}
+	_, err = Analyze(parser.MustParse(`
+		d(P, max<D>) :- arc(P, D).
+		d(P, D) :- arc(P, D).
+	`), arcSchema(), nil)
+	if err == nil {
+		t.Fatal("mixed aggregated/plain heads should be rejected")
+	}
+}
+
+func TestAnalyzeRejectsNonFinalAggregate(t *testing.T) {
+	_, err := Analyze(parser.MustParse(`d(max<D>, P) :- arc(P, D).`), arcSchema(), nil)
+	if err == nil {
+		t.Fatal("non-final aggregate should be rejected")
+	}
+}
+
+func TestAnalyzeTypeConflict(t *testing.T) {
+	_, err := Analyze(parser.MustParse(`p(X) :- arc(X, Y), named(X).`), map[string]*storage.Schema{
+		"arc":   arcSchema()["arc"],
+		"named": storage.NewSchema("named", storage.Column{Name: "n", Type: storage.TSym}),
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAndOrTree(t *testing.T) {
+	a := analyze(t, `
+		tc(X, Y) :- arc(X, Y).
+		tc(X, Y) :- tc(X, Z), arc(Z, Y).
+	`, arcSchema())
+	tree := a.AndOrTree("tc")
+	if tree.Kind != OrNode || len(tree.Children) != 2 {
+		t.Fatalf("root = %+v", tree)
+	}
+	out := tree.String()
+	if !strings.Contains(out, "recursive ref") || !strings.Contains(out, "EDB arc") {
+		t.Fatalf("tree rendering:\n%s", out)
+	}
+}
+
+func TestTarjanProperties(t *testing.T) {
+	// Diamond: 0→1→3, 0→2→3 — four singleton SCCs, 3 before 1 and 2,
+	// which come before 0... reverse topological = callee-first, so 3
+	// is emitted before 0.
+	sccs := tarjan(4, [][]int{{1, 2}, {3}, {3}, {}})
+	if len(sccs) != 4 {
+		t.Fatalf("sccs = %v", sccs)
+	}
+	pos := make(map[int]int)
+	for i, comp := range sccs {
+		for _, v := range comp {
+			pos[v] = i
+		}
+	}
+	if !(pos[3] < pos[1] && pos[3] < pos[2] && pos[1] < pos[0] && pos[2] < pos[0]) {
+		t.Fatalf("not reverse topological: %v", sccs)
+	}
+	// Cycle 0→1→2→0 plus tail 2→3: the cycle is one SCC.
+	sccs = tarjan(4, [][]int{{1}, {2}, {0, 3}, {}})
+	var cycle []int
+	for _, comp := range sccs {
+		if len(comp) == 3 {
+			cycle = comp
+		}
+	}
+	if cycle == nil {
+		t.Fatalf("cycle SCC missing: %v", sccs)
+	}
+}
+
+func TestTarjanLongChainNoOverflow(t *testing.T) {
+	const n = 200000
+	adj := make([][]int, n)
+	for i := 0; i < n-1; i++ {
+		adj[i] = []int{i + 1}
+	}
+	sccs := tarjan(n, adj)
+	if len(sccs) != n {
+		t.Fatalf("sccs = %d, want %d", len(sccs), n)
+	}
+}

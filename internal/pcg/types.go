@@ -1,0 +1,267 @@
+package pcg
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// typeLattice is the small lattice used during inference: unset is the
+// bottom element, int promotes to float, and symbols are incompatible
+// with numbers.
+type typeLattice struct {
+	set bool
+	t   storage.Type
+}
+
+func (l *typeLattice) join(t storage.Type) error {
+	if !l.set {
+		l.set, l.t = true, t
+		return nil
+	}
+	if l.t == t {
+		return nil
+	}
+	if (l.t == storage.TInt && t == storage.TFloat) || (l.t == storage.TFloat && t == storage.TInt) {
+		l.t = storage.TFloat
+		return nil
+	}
+	return fmt.Errorf("type conflict: %s vs %s", l.t, t)
+}
+
+// inferSchemas derives a typed schema for every IDB predicate by
+// propagating types from EDB schemas, literals, parameters and
+// arithmetic through the rules until a fixpoint.
+func (a *Analysis) inferSchemas() error {
+	// Column lattices per IDB predicate.
+	idbCols := make(map[string][]typeLattice)
+	arities := make(map[string]int)
+	for _, r := range a.Program.Rules {
+		arities[r.Head.Pred] = len(r.Head.Args)
+	}
+	for p, n := range arities {
+		if s, ok := a.Schemas[p]; ok {
+			// Respect an explicit declaration of an IDB predicate.
+			cols := make([]typeLattice, n)
+			for i := range cols {
+				cols[i] = typeLattice{set: true, t: s.ColType(i)}
+			}
+			idbCols[p] = cols
+			continue
+		}
+		idbCols[p] = make([]typeLattice, n)
+	}
+
+	current := func(p string, i int) (storage.Type, bool) {
+		if cols, ok := idbCols[p]; ok {
+			if cols[i].set {
+				return cols[i].t, true
+			}
+			return 0, false
+		}
+		if s, ok := a.Schemas[p]; ok {
+			return s.ColType(i), true
+		}
+		return 0, false
+	}
+
+	for pass := 0; ; pass++ {
+		if pass > len(arities)+8 {
+			break // inference converges in ≤ #preds passes; be safe
+		}
+		changed := false
+		for _, r := range a.Program.Rules {
+			vt, err := ruleVarTypes(r, current, a.ParamTypes)
+			if err != nil {
+				return fmt.Errorf("%s: %v", r.Pos, err)
+			}
+			cols := idbCols[r.Head.Pred]
+			for i, t := range r.Head.Args {
+				var ty storage.Type
+				ok := false
+				switch x := t.(type) {
+				case *ast.Var:
+					ty, ok = vt[x.Name]
+				case *ast.Num:
+					ty, ok = storage.TInt, true
+					if x.IsFloat {
+						ty = storage.TFloat
+					}
+				case *ast.Str:
+					ty, ok = storage.TSym, true
+				case *ast.Param:
+					ty, ok = a.ParamTypes[x.Name]
+				case *ast.Agg:
+					switch x.Kind {
+					case "count":
+						ty, ok = storage.TInt, true
+					default:
+						if v, isVar := x.Value.(*ast.Var); isVar {
+							ty, ok = vt[v.Name]
+						}
+					}
+				}
+				if !ok {
+					continue
+				}
+				before := cols[i]
+				if err := cols[i].join(ty); err != nil {
+					return fmt.Errorf("%s: column %d of %s: %v", r.Pos, i+1, r.Head.Pred, err)
+				}
+				if cols[i] != before {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for p, cols := range idbCols {
+		sc := make([]storage.Column, len(cols))
+		for i, c := range cols {
+			t := storage.TInt // untyped columns (never bound) default to int
+			if c.set {
+				t = c.t
+			}
+			sc[i] = storage.Column{Name: fmt.Sprintf("c%d", i), Type: t}
+		}
+		a.Schemas[p] = storage.NewSchema(p, sc...)
+	}
+	return nil
+}
+
+// RuleVarTypes resolves the type of every variable in a rule given the
+// final schemas; the planner uses it to compile expressions.
+func (a *Analysis) RuleVarTypes(r *ast.Rule) (map[string]storage.Type, error) {
+	current := func(p string, i int) (storage.Type, bool) {
+		if s, ok := a.Schemas[p]; ok {
+			return s.ColType(i), true
+		}
+		return 0, false
+	}
+	return ruleVarTypes(r, current, a.ParamTypes)
+}
+
+// ruleVarTypes computes variable types for one rule from atom positions
+// and equality bindings.
+func ruleVarTypes(r *ast.Rule, colType func(p string, i int) (storage.Type, bool), params map[string]storage.Type) (map[string]storage.Type, error) {
+	vars := make(map[string]*typeLattice)
+	at := func(name string) *typeLattice {
+		l, ok := vars[name]
+		if !ok {
+			l = &typeLattice{}
+			vars[name] = l
+		}
+		return l
+	}
+	bindAtom := func(atom *ast.Atom) error {
+		for i, t := range atom.Args {
+			v, ok := t.(*ast.Var)
+			if !ok {
+				continue
+			}
+			ty, known := colType(atom.Pred, i)
+			if !known {
+				continue
+			}
+			if err := at(v.Name).join(ty); err != nil {
+				return fmt.Errorf("variable %s: %v", v.Name, err)
+			}
+		}
+		return nil
+	}
+	for _, l := range r.Body {
+		switch x := l.(type) {
+		case *ast.Atom:
+			if err := bindAtom(x); err != nil {
+				return nil, err
+			}
+		case *ast.Negation:
+			if err := bindAtom(x.Atom); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Propagate through equality bindings: V = expr types V as the
+	// expression's type.
+	for pass := 0; pass < 4; pass++ {
+		changed := false
+		for _, l := range r.Body {
+			c, ok := l.(*ast.Condition)
+			if !ok || c.Op != ast.Eq {
+				continue
+			}
+			prop := func(v *ast.Var, e ast.Expr) error {
+				ty, ok := exprType(e, vars, params)
+				if !ok {
+					return nil
+				}
+				before := *at(v.Name)
+				if err := at(v.Name).join(ty); err != nil {
+					return fmt.Errorf("variable %s: %v", v.Name, err)
+				}
+				if *vars[v.Name] != before {
+					changed = true
+				}
+				return nil
+			}
+			if v, ok := c.L.(*ast.Var); ok {
+				if err := prop(v, c.R); err != nil {
+					return nil, err
+				}
+			}
+			if v, ok := c.R.(*ast.Var); ok {
+				if err := prop(v, c.L); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	out := make(map[string]storage.Type, len(vars))
+	for name, l := range vars {
+		if l.set {
+			out[name] = l.t
+		}
+	}
+	return out, nil
+}
+
+// exprType derives the result type of an arithmetic expression when all
+// of its leaves are typed.
+func exprType(e ast.Expr, vars map[string]*typeLattice, params map[string]storage.Type) (storage.Type, bool) {
+	switch x := e.(type) {
+	case *ast.Var:
+		if l, ok := vars[x.Name]; ok && l.set {
+			return l.t, true
+		}
+		return 0, false
+	case *ast.Num:
+		if x.IsFloat {
+			return storage.TFloat, true
+		}
+		return storage.TInt, true
+	case *ast.Str:
+		return storage.TSym, true
+	case *ast.Param:
+		t, ok := params[x.Name]
+		return t, ok
+	case *ast.Bin:
+		lt, lok := exprType(x.L, vars, params)
+		rt, rok := exprType(x.R, vars, params)
+		if !lok || !rok {
+			return 0, false
+		}
+		if lt == storage.TFloat || rt == storage.TFloat {
+			return storage.TFloat, true
+		}
+		return storage.TInt, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,162 @@
+package physical
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// Expr is a compiled arithmetic expression evaluated against a rule's
+// slot array. Types are resolved at compile time: integer operands are
+// promoted to float when mixed, and every node knows its result type.
+type Expr struct {
+	kind exprKind
+	// slot source
+	slot int
+	// constant source
+	constant storage.Value
+	// binary op
+	op   ast.ArithOp
+	l, r *Expr
+	// Typ is the result type.
+	Typ storage.Type
+}
+
+type exprKind uint8
+
+const (
+	eSlot exprKind = iota
+	eConst
+	eBin
+)
+
+// Eval computes the expression over the slot array.
+func (e *Expr) Eval(slots []storage.Value) storage.Value {
+	switch e.kind {
+	case eSlot:
+		return slots[e.slot]
+	case eConst:
+		return e.constant
+	default:
+		l := e.l.Eval(slots)
+		r := e.r.Eval(slots)
+		if e.Typ == storage.TFloat {
+			lf, rf := l.AsFloat(e.l.Typ), r.AsFloat(e.r.Typ)
+			var out float64
+			switch e.op {
+			case ast.Add:
+				out = lf + rf
+			case ast.Sub:
+				out = lf - rf
+			case ast.Mul:
+				out = lf * rf
+			case ast.Div:
+				out = lf / rf
+			}
+			return storage.FloatVal(out)
+		}
+		li, ri := l.Int(), r.Int()
+		var out int64
+		switch e.op {
+		case ast.Add:
+			out = li + ri
+		case ast.Sub:
+			out = li - ri
+		case ast.Mul:
+			out = li * ri
+		case ast.Div:
+			if ri == 0 {
+				out = 0 // integer division by zero yields 0 by convention
+			} else {
+				out = li / ri
+			}
+		}
+		return storage.IntVal(out)
+	}
+}
+
+// compileExpr lowers an AST expression given the rule's slot map.
+func (c *ruleCompiler) compileExpr(e ast.Expr) (*Expr, error) {
+	switch x := e.(type) {
+	case *ast.Var:
+		slot, ok := c.slots[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("variable %s used before it is bound", x.Name)
+		}
+		t := c.varTypes[x.Name]
+		return &Expr{kind: eSlot, slot: slot, Typ: t}, nil
+	case *ast.Num:
+		if x.IsFloat {
+			return &Expr{kind: eConst, constant: storage.FloatVal(x.Float), Typ: storage.TFloat}, nil
+		}
+		return &Expr{kind: eConst, constant: storage.IntVal(x.Int), Typ: storage.TInt}, nil
+	case *ast.Str:
+		return &Expr{kind: eConst, constant: storage.SymVal(c.prog.Syms.Intern(x.Val)), Typ: storage.TSym}, nil
+	case *ast.Param:
+		p, ok := c.prog.Params[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("parameter $%s is not bound", x.Name)
+		}
+		return &Expr{kind: eConst, constant: p.Value, Typ: p.Type}, nil
+	case *ast.Bin:
+		l, err := c.compileExpr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compileExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		t := storage.TInt
+		if l.Typ == storage.TFloat || r.Typ == storage.TFloat {
+			t = storage.TFloat
+		}
+		if l.Typ == storage.TSym || r.Typ == storage.TSym {
+			return nil, fmt.Errorf("arithmetic on symbol values")
+		}
+		return &Expr{kind: eBin, op: x.Op, l: l, r: r, Typ: t}, nil
+	default:
+		return nil, fmt.Errorf("unsupported expression %T", e)
+	}
+}
+
+// convert coerces a value of type from into type to (int↔float).
+func convert(v storage.Value, from, to storage.Type) storage.Value {
+	if from == to {
+		return v
+	}
+	return storage.FromFloat(v.AsFloat(from), to)
+}
+
+// compare evaluates a comparison between two typed values.
+func compare(op ast.CmpOp, l storage.Value, lt storage.Type, r storage.Value, rt storage.Type) bool {
+	var c int
+	if lt == storage.TFloat || rt == storage.TFloat {
+		lf, rf := l.AsFloat(lt), r.AsFloat(rt)
+		switch {
+		case lf < rf:
+			c = -1
+		case lf > rf:
+			c = 1
+		}
+	} else {
+		c = storage.Compare(l, r, lt)
+	}
+	switch op {
+	case ast.Eq:
+		return c == 0
+	case ast.Ne:
+		return c != 0
+	case ast.Lt:
+		return c < 0
+	case ast.Le:
+		return c <= 0
+	case ast.Gt:
+		return c > 0
+	case ast.Ge:
+		return c >= 0
+	default:
+		return false
+	}
+}

@@ -1,0 +1,597 @@
+// Package physical lowers logical rule plans into executable slot
+// programs (paper §5.2). Each rule becomes a pipeline over a flat slot
+// array: an outer access that binds slots from delta or base tuples,
+// followed by join probes, anti-join probes, selections and lets, and a
+// head emitter that feeds the Distribute operator. The compiler also
+// resolves which replica (access path) every recursive probe targets
+// and which global hash indexes must exist on base relations.
+package physical
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// Param is a typed query-parameter value ($name bindings).
+type Param struct {
+	Value storage.Value
+	Type  storage.Type
+}
+
+// Program is a fully compiled, executable query.
+type Program struct {
+	Plan   *plan.Plan
+	Syms   *storage.SymbolTable
+	Params map[string]Param
+	Strata []*Stratum
+	// BaseLookups records, per base (EDB or earlier-stratum) relation,
+	// the column sets that need global hash indexes.
+	BaseLookups map[string][][]int
+}
+
+// Stratum is the executable form of one evaluation unit.
+type Stratum struct {
+	Logical   *plan.StratumPlan
+	Recursive bool
+	Preds     []*Pred
+	PredIdx   map[string]int
+	BaseRules []*Rule
+	RecRules  []*Rule
+}
+
+// Pred is the runtime descriptor of a stratum-local predicate.
+type Pred struct {
+	Plan *plan.PredPlan
+	Idx  int
+	// Lookups lists the column sets for which replicas maintain
+	// incremental join indexes (set-semantics predicates only;
+	// aggregate replicas are probed through their group B+-tree).
+	Lookups [][]int
+	// KeyTypes caches the column types for hashing and B+-tree keys.
+	KeyTypes []storage.Type
+	// KeyOrders gives, per replica, the permutation of group-key
+	// columns used as the replica's B+-tree key: the partition path
+	// first, the remaining group columns after. Aligned probes are
+	// then always prefix scans (§6.2.1's access-aware index layout).
+	KeyOrders [][]int
+}
+
+// ValueSrc produces one value from a slot or a constant.
+type ValueSrc struct {
+	// Slot is the source slot, or -1 for a constant.
+	Slot  int
+	Const storage.Value
+	// Type is the source's type (conversion happens at the sink).
+	Type storage.Type
+}
+
+// Get reads the source against a slot array.
+func (v ValueSrc) Get(slots []storage.Value) storage.Value {
+	if v.Slot >= 0 {
+		return slots[v.Slot]
+	}
+	return v.Const
+}
+
+// ColSlot assigns a tuple column to a slot.
+type ColSlot struct{ Col, Slot int }
+
+// Access describes reading one atom: the outer scan, a join probe or a
+// negation probe.
+type Access struct {
+	Pred      string
+	Recursive bool
+	// PredIdx is the stratum-local predicate index, -1 for base and
+	// earlier-stratum relations.
+	PredIdx int
+	// PathIdx selects the replica whose partitioning matches the probe
+	// key (recursive probes).
+	PathIdx int
+	// LookupIdx selects the incremental index on the replica
+	// (set-semantics recursive probes) or the global hash index (base
+	// probes); -1 for full scans and aggregate B+-tree probes.
+	LookupIdx int
+	// KeyCols/KeySrcs form the equi-probe key.
+	KeyCols []int
+	KeySrcs []ValueSrc
+	// AggProbe marks a probe into an aggregate replica's group
+	// B+-tree; PrefixLen group columns form the scan prefix.
+	AggProbe  bool
+	PrefixLen int
+	// PostCols/PostSrcs are equality checks applied to matches (bound
+	// columns that could not join the key).
+	PostCols []int
+	PostSrcs []ValueSrc
+	// EqCols are intra-atom repeated-variable checks: column pairs
+	// that must be equal.
+	EqCols [][2]int
+	// Assign binds unbound columns to fresh slots.
+	Assign []ColSlot
+	// Method is the plan's join label (for stats and EXPLAIN).
+	Method plan.JoinMethod
+}
+
+// OpKind discriminates pipeline operators.
+type OpKind uint8
+
+const (
+	// OpJoin probes a relation and binds new slots per match.
+	OpJoin OpKind = iota
+	// OpNeg rejects the binding when a match exists.
+	OpNeg
+	// OpCond filters by a comparison.
+	OpCond
+	// OpLet binds a slot from an expression.
+	OpLet
+)
+
+// Op is one pipeline operator after the outer access.
+type Op struct {
+	Kind   OpKind
+	Access *Access
+	// OpCond
+	Cmp  ast.CmpOp
+	L, R *Expr
+	// OpLet
+	Slot     int
+	Expr     *Expr
+	SlotType storage.Type
+}
+
+// Head emits the rule's derivations.
+type Head struct {
+	Pred    string
+	PredIdx int
+	// Cols produce the group-key columns (aggregates) or the whole
+	// tuple (set semantics).
+	Cols []ValueSrc
+	// Types are the target schema column types, including the
+	// aggregate column.
+	Types []storage.Type
+	Agg   storage.AggKind
+	// AggVal produces the aggregated value (min/max/sum); for count it
+	// is the constant 1.
+	AggVal ValueSrc
+	// Contrib produces the contributor (count/sum).
+	Contrib ValueSrc
+}
+
+// Rule is a compiled rule or delta variant.
+type Rule struct {
+	Logical  *plan.RulePlan
+	NumSlots int
+	// Outer is the driving access; nil for fact rules.
+	Outer *Access
+	Ops   []Op
+	Head  Head
+	// OuterPredIdx / OuterPathIdx locate the delta stream driving a
+	// recursive variant; OuterPredIdx is -1 for base rules.
+	OuterPredIdx int
+	OuterPathIdx int
+}
+
+// Compile lowers a logical plan with concrete parameter bindings.
+func Compile(p *plan.Plan, params map[string]Param, syms *storage.SymbolTable) (*Program, error) {
+	if syms == nil {
+		syms = storage.NewSymbolTable()
+	}
+	prog := &Program{
+		Plan:        p,
+		Syms:        syms,
+		Params:      params,
+		BaseLookups: make(map[string][][]int),
+	}
+	for _, sp := range p.Strata {
+		st := &Stratum{
+			Logical:   sp,
+			Recursive: sp.Stratum.Recursive,
+			PredIdx:   make(map[string]int),
+		}
+		for _, name := range sp.Stratum.Preds {
+			pp := sp.Preds[name]
+			pred := &Pred{Plan: pp, Idx: len(st.Preds)}
+			for _, c := range pp.Schema.Cols {
+				pred.KeyTypes = append(pred.KeyTypes, c.Type)
+			}
+			for _, path := range pp.Paths {
+				pred.KeyOrders = append(pred.KeyOrders, keyOrder(path, pp.GroupLen))
+			}
+			st.PredIdx[name] = pred.Idx
+			st.Preds = append(st.Preds, pred)
+		}
+		for _, rp := range sp.BaseRules {
+			r, err := prog.compileRule(st, rp)
+			if err != nil {
+				return nil, err
+			}
+			st.BaseRules = append(st.BaseRules, r)
+		}
+		for _, rp := range sp.RecRules {
+			r, err := prog.compileRule(st, rp)
+			if err != nil {
+				return nil, err
+			}
+			st.RecRules = append(st.RecRules, r)
+		}
+		prog.Strata = append(prog.Strata, st)
+	}
+	return prog, nil
+}
+
+// ruleCompiler tracks per-rule compilation state.
+type ruleCompiler struct {
+	prog     *Program
+	stratum  *Stratum
+	slots    map[string]int
+	varTypes map[string]storage.Type
+	numSlots int
+}
+
+func (c *ruleCompiler) slotOf(name string) (int, bool) {
+	s, ok := c.slots[name]
+	return s, ok
+}
+
+func (c *ruleCompiler) alloc(name string) int {
+	s := c.numSlots
+	c.slots[name] = s
+	c.numSlots++
+	return s
+}
+
+func (prog *Program) compileRule(st *Stratum, rp *plan.RulePlan) (*Rule, error) {
+	a := prog.Plan.Analysis
+	vt, err := a.RuleVarTypes(rp.Rule)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", rp.Rule.Pos, err)
+	}
+	c := &ruleCompiler{
+		prog:     prog,
+		stratum:  st,
+		slots:    make(map[string]int),
+		varTypes: vt,
+	}
+	r := &Rule{Logical: rp, OuterPredIdx: -1, OuterPathIdx: -1}
+
+	for i, e := range rp.Elems {
+		switch e.Kind {
+		case plan.ElemAtom:
+			acc, err := c.compileAccess(e, i == 0)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", rp.Rule.Pos, err)
+			}
+			if i == 0 {
+				r.Outer = acc
+				if rp.OuterDelta {
+					r.OuterPredIdx = acc.PredIdx
+					r.OuterPathIdx = pathIndexOf(st.Preds[acc.PredIdx].Plan, rp.OuterPath)
+					if r.OuterPathIdx < 0 {
+						return nil, fmt.Errorf("%s: outer path %v missing on %s", rp.Rule.Pos, rp.OuterPath, acc.Pred)
+					}
+				}
+				continue
+			}
+			r.Ops = append(r.Ops, Op{Kind: OpJoin, Access: acc})
+		case plan.ElemNeg:
+			acc, err := c.compileAccess(e, false)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", rp.Rule.Pos, err)
+			}
+			acc.Assign = nil // negation binds nothing
+			r.Ops = append(r.Ops, Op{Kind: OpNeg, Access: acc})
+		case plan.ElemCond:
+			l, err := c.compileExpr(e.Cond.L)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", rp.Rule.Pos, err)
+			}
+			rr, err := c.compileExpr(e.Cond.R)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", rp.Rule.Pos, err)
+			}
+			r.Ops = append(r.Ops, Op{Kind: OpCond, Cmp: e.Cond.Op, L: l, R: rr})
+		case plan.ElemLet:
+			ex, err := c.compileExpr(e.LetExpr)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", rp.Rule.Pos, err)
+			}
+			slot := c.alloc(e.LetVar)
+			ty, ok := vt[e.LetVar]
+			if !ok {
+				ty = ex.Typ
+			}
+			r.Ops = append(r.Ops, Op{Kind: OpLet, Slot: slot, Expr: ex, SlotType: ty})
+		}
+	}
+
+	head, err := c.compileHead(rp.Rule.Head)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", rp.Rule.Pos, err)
+	}
+	r.Head = *head
+	r.NumSlots = c.numSlots
+	return r, nil
+}
+
+// compileAccess lowers one atom into an Access. For the outer (isOuter)
+// every variable column becomes an assignment; for probes, bound
+// columns become the key (or post-checks) and unbound ones assignments.
+func (c *ruleCompiler) compileAccess(e *plan.Elem, isOuter bool) (*Access, error) {
+	atom := e.Atom
+	acc := &Access{
+		Pred:      atom.Pred,
+		Recursive: e.Recursive,
+		PredIdx:   -1,
+		PathIdx:   -1,
+		LookupIdx: -1,
+		Method:    e.Method,
+	}
+	if e.Recursive {
+		acc.PredIdx = c.stratum.PredIdx[atom.Pred]
+	}
+
+	termSrc := func(t ast.Term) (ValueSrc, error) {
+		switch x := t.(type) {
+		case *ast.Var:
+			slot, ok := c.slotOf(x.Name)
+			if !ok {
+				return ValueSrc{}, fmt.Errorf("internal: variable %s not bound at probe of %s", x.Name, atom.Pred)
+			}
+			return ValueSrc{Slot: slot, Type: c.varTypes[x.Name]}, nil
+		case *ast.Num:
+			if x.IsFloat {
+				return ValueSrc{Slot: -1, Const: storage.FloatVal(x.Float), Type: storage.TFloat}, nil
+			}
+			return ValueSrc{Slot: -1, Const: storage.IntVal(x.Int), Type: storage.TInt}, nil
+		case *ast.Str:
+			return ValueSrc{Slot: -1, Const: storage.SymVal(c.prog.Syms.Intern(x.Val)), Type: storage.TSym}, nil
+		case *ast.Param:
+			p, ok := c.prog.Params[x.Name]
+			if !ok {
+				return ValueSrc{}, fmt.Errorf("parameter $%s is not bound", x.Name)
+			}
+			return ValueSrc{Slot: -1, Const: p.Value, Type: p.Type}, nil
+		default:
+			return ValueSrc{}, fmt.Errorf("unexpected term %s in body atom", t)
+		}
+	}
+
+	schema := c.prog.Plan.Analysis.Schemas[atom.Pred]
+	// Variables first bound by this very atom cannot participate in
+	// the probe key (their slots are only assigned per match), so a
+	// repeated occurrence becomes an intra-atom column equality.
+	assignedInAtom := make(map[string]int)
+	var boundCols []int
+	var boundSrcs []ValueSrc
+	for i, t := range atom.Args {
+		v, isVar := t.(*ast.Var)
+		if isVar {
+			if prev, ok := assignedInAtom[v.Name]; ok {
+				acc.EqCols = append(acc.EqCols, [2]int{prev, i})
+				continue
+			}
+			if slot, ok := c.slotOf(v.Name); ok {
+				src := ValueSrc{Slot: slot, Type: c.varTypes[v.Name]}
+				boundCols = append(boundCols, i)
+				boundSrcs = append(boundSrcs, src)
+				continue
+			}
+			slot := c.alloc(v.Name)
+			if _, known := c.varTypes[v.Name]; !known && schema != nil {
+				c.varTypes[v.Name] = schema.ColType(i)
+			}
+			assignedInAtom[v.Name] = i
+			acc.Assign = append(acc.Assign, ColSlot{Col: i, Slot: slot})
+			continue
+		}
+		src, err := termSrc(t)
+		if err != nil {
+			return nil, err
+		}
+		boundCols = append(boundCols, i)
+		boundSrcs = append(boundSrcs, src)
+	}
+
+	if isOuter {
+		// The outer scans tuples directly: every bound column is a
+		// post-check (constants in delta-driven atoms).
+		acc.PostCols, acc.PostSrcs = boundCols, boundSrcs
+		return acc, nil
+	}
+
+	if acc.Recursive {
+		pp := c.stratum.Preds[acc.PredIdx].Plan
+		acc.PathIdx = pathIndexOf(pp, boundCols)
+		if acc.PathIdx < 0 {
+			if !pp.Broadcast {
+				return nil, fmt.Errorf("internal: probe of %s on cols %v has no aligned replica (paths %v)", atom.Pred, boundCols, pp.Paths)
+			}
+			acc.PathIdx = 0
+		}
+	}
+
+	aggKind := storage.AggNone
+	if acc.Recursive {
+		aggKind = c.stratum.Preds[acc.PredIdx].Plan.Agg
+	}
+	if acc.Recursive && aggKind != storage.AggNone {
+		// Aggregate replicas are probed through the replica's group
+		// B+-tree, whose key order puts the partition path first: the
+		// longest fully bound prefix of that order scans, the rest
+		// post-filters.
+		acc.AggProbe = true
+		order := c.stratum.Preds[acc.PredIdx].KeyOrders[acc.PathIdx]
+		inKey := make(map[int]ValueSrc)
+		for i, col := range boundCols {
+			inKey[col] = boundSrcs[i]
+		}
+		for _, col := range order {
+			src, ok := inKey[col]
+			if !ok {
+				break
+			}
+			acc.KeyCols = append(acc.KeyCols, col)
+			acc.KeySrcs = append(acc.KeySrcs, src)
+			delete(inKey, col)
+		}
+		acc.PrefixLen = len(acc.KeyCols)
+		for i, col := range boundCols {
+			if _, still := inKey[col]; still {
+				acc.PostCols = append(acc.PostCols, col)
+				acc.PostSrcs = append(acc.PostSrcs, boundSrcs[i])
+			}
+		}
+	} else {
+		acc.KeyCols, acc.KeySrcs = boundCols, boundSrcs
+	}
+
+	switch {
+	case acc.Recursive:
+		if !acc.AggProbe && len(acc.KeyCols) > 0 {
+			acc.LookupIdx = c.registerPredLookup(acc.PredIdx, acc.KeyCols)
+		}
+	default:
+		if len(acc.KeyCols) > 0 {
+			acc.LookupIdx = c.registerBaseLookup(atom.Pred, acc.KeyCols)
+		}
+	}
+	return acc, nil
+}
+
+// keyOrder builds a replica's B+-tree key permutation: partition path
+// columns first, then the remaining group columns.
+func keyOrder(path []int, groupLen int) []int {
+	order := append([]int(nil), path...)
+	seen := make(map[int]bool, len(path))
+	for _, c := range path {
+		seen[c] = true
+	}
+	for c := 0; c < groupLen; c++ {
+		if !seen[c] {
+			order = append(order, c)
+		}
+	}
+	return order
+}
+
+func pathIndexOf(pp *plan.PredPlan, cols []int) int {
+	for i, p := range pp.Paths {
+		if equalIntSlices(p, cols) {
+			return i
+		}
+	}
+	return -1
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// registerPredLookup ensures the stratum predicate maintains an
+// incremental index on the column set and returns its ordinal.
+func (c *ruleCompiler) registerPredLookup(predIdx int, cols []int) int {
+	p := c.stratum.Preds[predIdx]
+	for i, l := range p.Lookups {
+		if equalIntSlices(l, cols) {
+			return i
+		}
+	}
+	p.Lookups = append(p.Lookups, append([]int(nil), cols...))
+	return len(p.Lookups) - 1
+}
+
+// registerBaseLookup ensures a global hash index exists on the base
+// relation's columns and returns its ordinal.
+func (c *ruleCompiler) registerBaseLookup(pred string, cols []int) int {
+	ls := c.prog.BaseLookups[pred]
+	for i, l := range ls {
+		if equalIntSlices(l, cols) {
+			return i
+		}
+	}
+	c.prog.BaseLookups[pred] = append(ls, append([]int(nil), cols...))
+	return len(c.prog.BaseLookups[pred]) - 1
+}
+
+func (c *ruleCompiler) compileHead(h *ast.Atom) (*Head, error) {
+	schema := c.prog.Plan.Analysis.Schemas[h.Pred]
+	head := &Head{Pred: h.Pred, PredIdx: -1}
+	if idx, ok := c.stratum.PredIdx[h.Pred]; ok {
+		head.PredIdx = idx
+	}
+	for _, col := range schema.Cols {
+		head.Types = append(head.Types, col.Type)
+	}
+	termSrc := func(t ast.Term) (ValueSrc, error) {
+		switch x := t.(type) {
+		case *ast.Var:
+			slot, ok := c.slotOf(x.Name)
+			if !ok {
+				return ValueSrc{}, fmt.Errorf("head variable %s is not bound", x.Name)
+			}
+			return ValueSrc{Slot: slot, Type: c.varTypes[x.Name]}, nil
+		case *ast.Num:
+			if x.IsFloat {
+				return ValueSrc{Slot: -1, Const: storage.FloatVal(x.Float), Type: storage.TFloat}, nil
+			}
+			return ValueSrc{Slot: -1, Const: storage.IntVal(x.Int), Type: storage.TInt}, nil
+		case *ast.Str:
+			return ValueSrc{Slot: -1, Const: storage.SymVal(c.prog.Syms.Intern(x.Val)), Type: storage.TSym}, nil
+		case *ast.Param:
+			p, ok := c.prog.Params[x.Name]
+			if !ok {
+				return ValueSrc{}, fmt.Errorf("parameter $%s is not bound", x.Name)
+			}
+			return ValueSrc{Slot: -1, Const: p.Value, Type: p.Type}, nil
+		default:
+			return ValueSrc{}, fmt.Errorf("unexpected head term %s", t)
+		}
+	}
+	for _, t := range h.Args {
+		if agg, ok := t.(*ast.Agg); ok {
+			switch agg.Kind {
+			case "min":
+				head.Agg = storage.AggMin
+			case "max":
+				head.Agg = storage.AggMax
+			case "count":
+				head.Agg = storage.AggCount
+			case "sum":
+				head.Agg = storage.AggSum
+			}
+			if agg.Value != nil {
+				src, err := termSrc(agg.Value)
+				if err != nil {
+					return nil, err
+				}
+				head.AggVal = src
+			} else {
+				head.AggVal = ValueSrc{Slot: -1, Const: storage.IntVal(1), Type: storage.TInt}
+			}
+			if agg.Contributor != nil {
+				src, err := termSrc(agg.Contributor)
+				if err != nil {
+					return nil, err
+				}
+				head.Contrib = src
+			}
+			continue
+		}
+		src, err := termSrc(t)
+		if err != nil {
+			return nil, err
+		}
+		head.Cols = append(head.Cols, src)
+	}
+	return head, nil
+}

@@ -1,0 +1,283 @@
+package physical
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/pcg"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+func intSchema(name string, cols ...string) *storage.Schema {
+	cs := make([]storage.Column, len(cols))
+	for i, c := range cols {
+		cs[i] = storage.Column{Name: c, Type: storage.TInt}
+	}
+	return storage.NewSchema(name, cs...)
+}
+
+func compile(t *testing.T, src string, schemas map[string]*storage.Schema, params map[string]Param) *Program {
+	t.Helper()
+	pt := make(map[string]storage.Type)
+	for k, v := range params {
+		pt[k] = v.Type
+	}
+	a, err := pcg.Analyze(parser.MustParse(src), schemas, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := plan.Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(lp, params, storage.NewSymbolTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func graphSchemas() map[string]*storage.Schema {
+	return map[string]*storage.Schema{
+		"arc":  intSchema("arc", "x", "y"),
+		"warc": intSchema("warc", "x", "y", "w"),
+	}
+}
+
+func TestCompileTC(t *testing.T) {
+	prog := compile(t, `
+		tc(X, Y) :- arc(X, Y).
+		tc(X, Y) :- tc(X, Z), arc(Z, Y).
+	`, graphSchemas(), nil)
+	if len(prog.Strata) != 1 {
+		t.Fatalf("strata = %d", len(prog.Strata))
+	}
+	st := prog.Strata[0]
+	if len(st.BaseRules) != 1 || len(st.RecRules) != 1 {
+		t.Fatalf("rules base=%d rec=%d", len(st.BaseRules), len(st.RecRules))
+	}
+	rec := st.RecRules[0]
+	if rec.OuterPredIdx != 0 || rec.OuterPathIdx != 0 {
+		t.Fatalf("outer pred/path = %d/%d", rec.OuterPredIdx, rec.OuterPathIdx)
+	}
+	if rec.Outer == nil || len(rec.Outer.Assign) != 2 {
+		t.Fatalf("outer assigns = %+v", rec.Outer)
+	}
+	if len(rec.Ops) != 1 || rec.Ops[0].Kind != OpJoin {
+		t.Fatalf("ops = %+v", rec.Ops)
+	}
+	join := rec.Ops[0].Access
+	if join.Pred != "arc" || len(join.KeyCols) != 1 || join.KeyCols[0] != 0 {
+		t.Fatalf("join = %+v", join)
+	}
+	if join.LookupIdx != 0 {
+		t.Fatalf("lookup idx = %d", join.LookupIdx)
+	}
+	// The base lookup on arc col 0 must be registered globally.
+	if ls := prog.BaseLookups["arc"]; len(ls) != 1 || ls[0][0] != 0 {
+		t.Fatalf("base lookups = %v", prog.BaseLookups)
+	}
+	if rec.Head.Pred != "tc" || len(rec.Head.Cols) != 2 || rec.Head.Agg != storage.AggNone {
+		t.Fatalf("head = %+v", rec.Head)
+	}
+}
+
+func TestCompileExprAndLet(t *testing.T) {
+	prog := compile(t, `
+		sp(To, min<C>) :- To = $start, C = 0.
+		sp(To2, min<C>) :- sp(To1, C1), warc(To1, To2, C2), C = C1 + C2.
+	`, graphSchemas(), map[string]Param{"start": {Value: storage.IntVal(7), Type: storage.TInt}})
+	st := prog.Strata[0]
+	base := st.BaseRules[0]
+	if base.Outer != nil {
+		t.Fatal("fact-style rule should have no outer")
+	}
+	lets := 0
+	for _, op := range base.Ops {
+		if op.Kind == OpLet {
+			lets++
+			got := op.Expr.Eval(make([]storage.Value, base.NumSlots))
+			if op.Slot == 0 && got.Int() != 7 {
+				t.Fatalf("param expr = %d", got.Int())
+			}
+		}
+	}
+	if lets != 2 {
+		t.Fatalf("lets = %d", lets)
+	}
+	rec := st.RecRules[0]
+	var let *Op
+	for i := range rec.Ops {
+		if rec.Ops[i].Kind == OpLet {
+			let = &rec.Ops[i]
+		}
+	}
+	if let == nil {
+		t.Fatal("C = C1 + C2 missing")
+	}
+	// Evaluate C1+C2 with crafted slots.
+	slots := make([]storage.Value, rec.NumSlots)
+	for i := range slots {
+		slots[i] = storage.IntVal(int64(10 * (i + 1)))
+	}
+	if got := let.Expr.Eval(slots); got.Int() == 0 {
+		t.Fatalf("let eval = %d", got.Int())
+	}
+}
+
+func TestCompileAggHead(t *testing.T) {
+	prog := compile(t, `
+		cc2(Y, min<Y>) :- arc(Y, _).
+		cc2(Y, min<Z>) :- cc2(X, Z), arc(X, Y).
+	`, graphSchemas(), nil)
+	st := prog.Strata[0]
+	h := st.RecRules[0].Head
+	if h.Agg != storage.AggMin || len(h.Cols) != 1 {
+		t.Fatalf("head = %+v", h)
+	}
+	if h.AggVal.Slot < 0 {
+		t.Fatal("min value must come from a slot")
+	}
+}
+
+func TestCompileAggProbePrefix(t *testing.T) {
+	// Attend: the probe of cnt(X, N) binds X (group prefix) and
+	// assigns N from the aggregate payload.
+	prog := compile(t, `
+		attend(X) :- organizer(X).
+		cnt(Y, count<X>) :- attend(X), friend(Y, X).
+		attend(X) :- cnt(X, N), N >= 3.
+	`, map[string]*storage.Schema{
+		"organizer": intSchema("organizer", "x"),
+		"friend":    intSchema("friend", "y", "x"),
+	}, nil)
+	var rec *Stratum
+	for _, st := range prog.Strata {
+		if st.Recursive {
+			rec = st
+		}
+	}
+	if rec == nil {
+		t.Fatal("recursive stratum missing")
+	}
+	// Find the variant whose outer is cnt (driving attend).
+	var outerCnt *Rule
+	for _, r := range rec.RecRules {
+		if r.Outer.Pred == "cnt" {
+			outerCnt = r
+		}
+	}
+	if outerCnt == nil {
+		t.Fatal("cnt-driven variant missing")
+	}
+	if outerCnt.Head.Pred != "attend" {
+		t.Fatalf("head = %s", outerCnt.Head.Pred)
+	}
+}
+
+func TestCompileNonLinearReplicas(t *testing.T) {
+	prog := compile(t, `
+		path(A, B, min<D>) :- warc(A, B, D).
+		path(A, B, min<D>) :- path(A, C, D1), path(C, B, D2), D = D1 + D2.
+	`, graphSchemas(), nil)
+	st := prog.Strata[0]
+	if len(st.RecRules) != 2 {
+		t.Fatalf("variants = %d", len(st.RecRules))
+	}
+	for _, r := range st.RecRules {
+		var join *Access
+		for i := range r.Ops {
+			if r.Ops[i].Kind == OpJoin && r.Ops[i].Access.Recursive {
+				join = r.Ops[i].Access
+			}
+		}
+		if join == nil {
+			t.Fatal("inner recursive probe missing")
+		}
+		if !join.AggProbe || join.PrefixLen != 1 {
+			t.Fatalf("inner probe = %+v", join)
+		}
+		if join.PathIdx < 0 || r.OuterPathIdx < 0 {
+			t.Fatalf("paths unresolved: %+v / %d", join, r.OuterPathIdx)
+		}
+		if join.PathIdx == r.OuterPathIdx {
+			t.Fatal("inner and outer must use different replicas")
+		}
+	}
+}
+
+func TestCompileMissingParamFails(t *testing.T) {
+	a, err := pcg.Analyze(parser.MustParse(`sp(To, min<C>) :- To = $start, C = 0.`), nil,
+		map[string]storage.Type{"start": storage.TInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := plan.Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(lp, nil, nil); err == nil {
+		t.Fatal("missing parameter must fail compilation")
+	}
+}
+
+func TestCompileRepeatedVariableInAtom(t *testing.T) {
+	prog := compile(t, `
+		loop(X) :- arc(X, X).
+		loop(X) :- loop(X), arc(X, X).
+	`, graphSchemas(), nil)
+	base := prog.Strata[0].BaseRules[0]
+	if len(base.Outer.EqCols) != 1 {
+		t.Fatalf("outer EqCols = %v", base.Outer.EqCols)
+	}
+}
+
+func TestExprTypedArithmetic(t *testing.T) {
+	// (1 - 0.25) * 4 with int/float mixing.
+	e := &Expr{
+		kind: eBin, op: ast.Mul, Typ: storage.TFloat,
+		l: &Expr{
+			kind: eBin, op: ast.Sub, Typ: storage.TFloat,
+			l: &Expr{kind: eConst, constant: storage.IntVal(1), Typ: storage.TInt},
+			r: &Expr{kind: eConst, constant: storage.FloatVal(0.25), Typ: storage.TFloat},
+		},
+		r: &Expr{kind: eConst, constant: storage.IntVal(4), Typ: storage.TInt},
+	}
+	if got := e.Eval(nil).Float(); got != 3.0 {
+		t.Fatalf("eval = %g", got)
+	}
+	// Integer division truncates; division by zero yields 0.
+	d := &Expr{
+		kind: eBin, op: ast.Div, Typ: storage.TInt,
+		l: &Expr{kind: eConst, constant: storage.IntVal(7), Typ: storage.TInt},
+		r: &Expr{kind: eConst, constant: storage.IntVal(2), Typ: storage.TInt},
+	}
+	if got := d.Eval(nil).Int(); got != 3 {
+		t.Fatalf("7/2 = %d", got)
+	}
+	z := &Expr{
+		kind: eBin, op: ast.Div, Typ: storage.TInt,
+		l: &Expr{kind: eConst, constant: storage.IntVal(7), Typ: storage.TInt},
+		r: &Expr{kind: eConst, constant: storage.IntVal(0), Typ: storage.TInt},
+	}
+	if got := z.Eval(nil).Int(); got != 0 {
+		t.Fatalf("7/0 = %d", got)
+	}
+}
+
+func TestCompareTyped(t *testing.T) {
+	if !compare(ast.Lt, storage.IntVal(1), storage.TInt, storage.FloatVal(1.5), storage.TFloat) {
+		t.Fatal("1 < 1.5 mixed")
+	}
+	if compare(ast.Eq, storage.IntVal(2), storage.TInt, storage.IntVal(3), storage.TInt) {
+		t.Fatal("2 != 3")
+	}
+	if !compare(ast.Ge, storage.IntVal(3), storage.TInt, storage.IntVal(3), storage.TInt) {
+		t.Fatal("3 >= 3")
+	}
+	if !compare(ast.Ne, storage.SymVal(1), storage.TSym, storage.SymVal(2), storage.TSym) {
+		t.Fatal("sym inequality")
+	}
+}

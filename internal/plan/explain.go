@@ -1,0 +1,81 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the logical plan as indented text, mirroring the
+// paper's Figure 4/5 structure: per stratum, the predicate storage and
+// routing decisions followed by the operator pipeline of every rule
+// with its Distribute/Gather boundary.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	for i, sp := range p.Strata {
+		kind := "non-recursive"
+		switch {
+		case sp.Stratum.NonLinear:
+			kind = "non-linear recursive"
+		case sp.Stratum.Mutual:
+			kind = "mutual recursive"
+		case sp.Stratum.Recursive:
+			kind = "recursive"
+		}
+		fmt.Fprintf(&b, "stratum %d (%s): %s\n", i, kind, strings.Join(sp.Stratum.Preds, ", "))
+		for _, name := range sp.Stratum.Preds {
+			pp := sp.Preds[name]
+			mode := "partitioned"
+			if pp.Broadcast {
+				mode = "broadcast"
+			}
+			fmt.Fprintf(&b, "  store %s agg=%s group=%d %s paths=%v\n", pp.Name, pp.Agg, pp.GroupLen, mode, pp.Paths)
+		}
+		for _, rp := range sp.BaseRules {
+			b.WriteString(rp.explain("  base", 2))
+		}
+		for _, rp := range sp.RecRules {
+			b.WriteString(rp.explain("  delta", 2))
+		}
+	}
+	return b.String()
+}
+
+func (rp *RulePlan) explain(tag string, indent int) string {
+	var b strings.Builder
+	pad := strings.Repeat(" ", indent)
+	if rp.Variant >= 0 {
+		fmt.Fprintf(&b, "%s%s rule (variant %d, outer path %v): %s\n", pad, tag, rp.Variant, rp.OuterPath, rp.Rule)
+	} else {
+		fmt.Fprintf(&b, "%s%s rule: %s\n", pad, tag, rp.Rule)
+	}
+	pad2 := pad + "  "
+	for i, e := range rp.Elems {
+		switch e.Kind {
+		case ElemAtom:
+			switch {
+			case i == 0 && rp.OuterDelta:
+				fmt.Fprintf(&b, "%sscan δ%s\n", pad2, e.Atom.Pred)
+			case i == 0:
+				fmt.Fprintf(&b, "%sscan %s\n", pad2, e.Atom.Pred)
+			default:
+				src := e.Atom.Pred
+				if e.Recursive {
+					if rp.InnerFull[i] {
+						src += " (R∪δ)"
+					} else {
+						src += " (R)"
+					}
+				}
+				fmt.Fprintf(&b, "%s%s %s on cols %v\n", pad2, e.Method, src, e.BoundCols)
+			}
+		case ElemNeg:
+			fmt.Fprintf(&b, "%santi-join %s on cols %v\n", pad2, e.Atom.Pred, e.BoundCols)
+		case ElemCond:
+			fmt.Fprintf(&b, "%sselect %s\n", pad2, e.Cond)
+		case ElemLet:
+			fmt.Fprintf(&b, "%slet %s = %s\n", pad2, e.LetVar, e.LetExpr)
+		}
+	}
+	fmt.Fprintf(&b, "%sproject → %s; distribute+gather\n", pad2, rp.Rule.Head)
+	return b.String()
+}

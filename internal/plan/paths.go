@@ -1,0 +1,240 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// derivePaths computes the replica partitionings of every predicate in
+// the stratum (paper §4.3). An inner recursive lookup is local exactly
+// when the worker that owns the driving delta tuple — chosen by hashing
+// the outer atom's path columns — also owns the inner replica tuples
+// with the same key, which requires the outer path values and the inner
+// lookup values to be the same variable sequence. When that alignment
+// is impossible the whole stratum falls back to broadcast replication.
+func derivePaths(sp *StratumPlan, forceBroadcast bool) error {
+	type constraint struct {
+		outerPred string
+		outerPath []int
+		innerPred string
+		innerPath []int
+	}
+	type flexible struct {
+		rp      *RulePlan
+		pred    string
+		natural []int
+	}
+
+	var (
+		constraints []constraint
+		flexibles   []flexible
+	)
+	broadcast := forceBroadcast && sp.Stratum.Recursive
+	constrainedOf := make(map[*RulePlan][]int)
+
+	for _, rp := range sp.RecRules {
+		outer := rp.Elems[0].Atom
+		var inners []*Elem
+		for _, e := range rp.Elems[1:] {
+			if e.Kind == ElemAtom && e.Recursive {
+				inners = append(inners, e)
+			}
+		}
+		switch len(inners) {
+		case 0:
+			flexibles = append(flexibles, flexible{rp, outer.Pred, naturalKey(rp, sp)})
+		case 1:
+			inner := inners[0]
+			outerPath, ok := alignPaths(outer, inner)
+			if !ok {
+				broadcast = true
+				continue
+			}
+			constraints = append(constraints, constraint{
+				outerPred: outer.Pred,
+				outerPath: outerPath,
+				innerPred: inner.Atom.Pred,
+				innerPath: inner.BoundCols,
+			})
+			constrainedOf[rp] = outerPath
+		default:
+			// Three or more recursive occurrences cannot share one
+			// aligned partitioning (paper handles the two-way case).
+			broadcast = true
+		}
+	}
+
+	addPath := func(pred string, cols []int) {
+		pp := sp.Preds[pred]
+		for _, p := range pp.Paths {
+			if equalInts(p, cols) {
+				return
+			}
+		}
+		pp.Paths = append(pp.Paths, cols)
+	}
+
+	if !broadcast {
+		for _, c := range constraints {
+			addPath(c.outerPred, c.outerPath)
+			addPath(c.innerPred, c.innerPath)
+		}
+		// Aggregate replicas must keep each group on one worker.
+		for _, pp := range sp.Preds {
+			for _, path := range pp.Paths {
+				if pp.Agg != storage.AggNone && !subsetOf(path, pp.GroupLen) {
+					broadcast = true
+				}
+				if len(path) == 0 {
+					broadcast = true
+				}
+			}
+		}
+	}
+
+	if broadcast {
+		for _, pp := range sp.Preds {
+			pp.Broadcast = true
+			pp.Paths = [][]int{defaultPath(pp)}
+		}
+		for _, rp := range sp.RecRules {
+			rp.OuterPath = sp.Preds[rp.Elems[0].Atom.Pred].Paths[0]
+		}
+		return nil
+	}
+
+	for _, f := range flexibles {
+		pp := sp.Preds[f.pred]
+		if len(pp.Paths) == 0 {
+			addPath(f.pred, f.natural)
+		}
+	}
+	for _, pp := range sp.Preds {
+		if len(pp.Paths) == 0 {
+			pp.Paths = [][]int{defaultPath(pp)}
+		}
+	}
+	for _, rp := range sp.RecRules {
+		if path, ok := constrainedOf[rp]; ok {
+			rp.OuterPath = path
+			continue
+		}
+		rp.OuterPath = sp.Preds[rp.Elems[0].Atom.Pred].Paths[0]
+	}
+	// Sanity: every variant's outer path must be a replica of its
+	// predicate, or its deltas would never be observed.
+	for _, rp := range sp.RecRules {
+		pp := sp.Preds[rp.Elems[0].Atom.Pred]
+		found := false
+		for _, p := range pp.Paths {
+			if equalInts(p, rp.OuterPath) {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("internal: variant of %s drives path %v not registered on %s (paths %v)",
+				rp.Rule.Head.Pred, rp.OuterPath, pp.Name, pp.Paths)
+		}
+	}
+	return nil
+}
+
+// alignPaths maps the inner atom's bound lookup columns back to the
+// positions of the same variables in the outer atom, preserving order
+// so both sides hash identically. It fails when a lookup column is a
+// constant or its variable does not occur in the outer atom.
+func alignPaths(outer *ast.Atom, inner *Elem) ([]int, bool) {
+	if len(inner.BoundCols) == 0 {
+		return nil, false
+	}
+	outerPosOf := func(name string) int {
+		for i, t := range outer.Args {
+			if v, ok := t.(*ast.Var); ok && v.Name == name {
+				return i
+			}
+		}
+		return -1
+	}
+	path := make([]int, 0, len(inner.BoundCols))
+	for _, c := range inner.BoundCols {
+		v, ok := inner.Atom.Args[c].(*ast.Var)
+		if !ok {
+			return nil, false
+		}
+		p := outerPosOf(v.Name)
+		if p < 0 {
+			return nil, false
+		}
+		path = append(path, p)
+	}
+	return path, true
+}
+
+// naturalKey picks the delta partition columns for an outer occurrence
+// with no inner recursive partner: the outer columns whose variables
+// join with other body atoms, restricted to the group key for
+// aggregated predicates, defaulting to the full group/tuple.
+func naturalKey(rp *RulePlan, sp *StratumPlan) []int {
+	outer := rp.Elems[0].Atom
+	pp := sp.Preds[outer.Pred]
+	shared := make(map[string]bool)
+	for _, e := range rp.Elems[1:] {
+		if e.Kind != ElemAtom && e.Kind != ElemNeg {
+			continue
+		}
+		for _, t := range e.Atom.Args {
+			if v, ok := t.(*ast.Var); ok {
+				shared[v.Name] = true
+			}
+		}
+	}
+	var cols []int
+	for i, t := range outer.Args {
+		v, ok := t.(*ast.Var)
+		if !ok || !shared[v.Name] {
+			continue
+		}
+		if pp.Agg != storage.AggNone && i >= pp.GroupLen {
+			continue
+		}
+		cols = append(cols, i)
+	}
+	if len(cols) == 0 {
+		return defaultPath(pp)
+	}
+	return cols
+}
+
+// defaultPath partitions by the full group key (aggregates) or the full
+// tuple (sets).
+func defaultPath(pp *PredPlan) []int {
+	n := pp.GroupLen
+	cols := make([]int, n)
+	for i := range cols {
+		cols[i] = i
+	}
+	return cols
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func subsetOf(cols []int, groupLen int) bool {
+	for _, c := range cols {
+		if c >= groupLen {
+			return false
+		}
+	}
+	return true
+}

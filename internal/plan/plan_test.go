@@ -1,0 +1,319 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/pcg"
+	"repro/internal/storage"
+)
+
+func intSchema(name string, cols ...string) *storage.Schema {
+	cs := make([]storage.Column, len(cols))
+	for i, c := range cols {
+		cs[i] = storage.Column{Name: c, Type: storage.TInt}
+	}
+	return storage.NewSchema(name, cs...)
+}
+
+func buildPlan(t *testing.T, src string, schemas map[string]*storage.Schema, params map[string]storage.Type) *Plan {
+	t.Helper()
+	a, err := pcg.Analyze(parser.MustParse(src), schemas, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func graphSchemas() map[string]*storage.Schema {
+	return map[string]*storage.Schema{
+		"arc":  intSchema("arc", "x", "y"),
+		"warc": intSchema("warc", "x", "y", "w"),
+	}
+}
+
+func TestPlanTCReordersRecursiveFirst(t *testing.T) {
+	// The classic TC: the recursive atom must become the outer even
+	// when written second.
+	p2 := buildPlan(t, `
+		tc(X, Y) :- arc(X, Y).
+		tc(X, Y) :- arc(Z, Y), tc(X, Z).
+	`, graphSchemas(), nil)
+	sp := p2.Strata[0]
+	if len(sp.BaseRules) != 1 || len(sp.RecRules) != 1 {
+		t.Fatalf("rules: base=%d rec=%d", len(sp.BaseRules), len(sp.RecRules))
+	}
+	rp := sp.RecRules[0]
+	if !rp.OuterDelta || rp.Elems[0].Atom.Pred != "tc" {
+		t.Fatalf("outer = %s, want δtc", rp.Elems[0].Atom.Pred)
+	}
+	join := rp.Elems[1]
+	if join.Atom.Pred != "arc" || len(join.BoundCols) != 1 || join.BoundCols[0] != 0 {
+		t.Fatalf("join elem = %+v", join)
+	}
+	if join.Method == NestedLoopJoin {
+		t.Fatal("bound join should not be nested loop")
+	}
+}
+
+func TestPlanSelectionPushdown(t *testing.T) {
+	p := buildPlan(t, `
+		sg(X, Y) :- arc(P, X), arc(P, Y), X != Y.
+		sg(X, Y) :- arc(A, X), sg(A, B), arc(B, Y).
+	`, graphSchemas(), nil)
+	sp := p.Strata[0]
+	base := sp.BaseRules[0]
+	// X != Y must run immediately after the second arc scan binds Y,
+	// i.e. before the end of the pipeline.
+	lastKind := base.Elems[len(base.Elems)-1].Kind
+	if lastKind != ElemCond {
+		t.Fatalf("condition position: %v", lastKind)
+	}
+	rec := sp.RecRules[0]
+	if rec.Elems[0].Atom.Pred != "sg" {
+		t.Fatal("recursive atom must be outer")
+	}
+	// Both arc joins are index joins probing column 0.
+	joins := 0
+	for _, e := range rec.Elems[1:] {
+		if e.Kind == ElemAtom {
+			joins++
+			if len(e.BoundCols) != 1 || e.BoundCols[0] != 0 {
+				t.Fatalf("arc probe cols = %v", e.BoundCols)
+			}
+		}
+	}
+	if joins != 2 {
+		t.Fatalf("joins = %d", joins)
+	}
+}
+
+func TestPlanLetScheduling(t *testing.T) {
+	p := buildPlan(t, `
+		sp(To, min<C>) :- To = $start, C = 0.
+		sp(To2, min<C>) :- sp(To1, C1), warc(To1, To2, C2), C = C1 + C2.
+	`, graphSchemas(), map[string]storage.Type{"start": storage.TInt})
+	sp := p.Strata[0]
+	rec := sp.RecRules[0]
+	var sawJoin bool
+	for _, e := range rec.Elems {
+		if e.Kind == ElemAtom && e.Atom.Pred == "warc" {
+			sawJoin = true
+		}
+		if e.Kind == ElemLet && e.LetVar == "C" && !sawJoin {
+			t.Fatal("let C = C1+C2 scheduled before its inputs are bound")
+		}
+	}
+	// The base rule is all lets: everything must be scheduled.
+	base := sp.BaseRules[0]
+	lets := 0
+	for _, e := range base.Elems {
+		if e.Kind == ElemLet {
+			lets++
+		}
+	}
+	if lets != 2 {
+		t.Fatalf("base rule lets = %d, want 2", lets)
+	}
+}
+
+func TestPlanPathsLinearAggregate(t *testing.T) {
+	p := buildPlan(t, `
+		cc2(Y, min<Y>) :- arc(Y, _).
+		cc2(Y, min<Z>) :- cc2(X, Z), arc(X, Y).
+	`, graphSchemas(), nil)
+	pp := p.Strata[0].Preds["cc2"]
+	if pp.Broadcast {
+		t.Fatal("cc2 should not need broadcast")
+	}
+	if len(pp.Paths) != 1 || !equalInts(pp.Paths[0], []int{0}) {
+		t.Fatalf("cc2 paths = %v, want [[0]]", pp.Paths)
+	}
+	if pp.Agg != storage.AggMin || pp.GroupLen != 1 {
+		t.Fatalf("cc2 agg=%v group=%d", pp.Agg, pp.GroupLen)
+	}
+}
+
+func TestPlanPathsAPSPTwoWay(t *testing.T) {
+	p := buildPlan(t, `
+		path(A, B, min<D>) :- warc(A, B, D).
+		path(A, B, min<D>) :- path(A, C, D1), path(C, B, D2), D = D1 + D2.
+	`, graphSchemas(), nil)
+	pp := p.Strata[0].Preds["path"]
+	if pp.Broadcast {
+		t.Fatal("APSP aligns; broadcast not needed")
+	}
+	if len(pp.Paths) != 2 {
+		t.Fatalf("path paths = %v, want two replicas", pp.Paths)
+	}
+	// The two replicas are partitioned by the C-position of each
+	// occurrence: column 1 (outer variant 0) and column 0 (inner).
+	has := func(cols []int) bool {
+		for _, p := range pp.Paths {
+			if equalInts(p, cols) {
+				return true
+			}
+		}
+		return false
+	}
+	if !has([]int{1}) || !has([]int{0}) {
+		t.Fatalf("paths = %v, want [1] and [0]", pp.Paths)
+	}
+	sp := p.Strata[0]
+	if len(sp.RecRules) != 2 {
+		t.Fatalf("variants = %d, want 2", len(sp.RecRules))
+	}
+	for _, rp := range sp.RecRules {
+		if len(rp.OuterPath) != 1 {
+			t.Fatalf("outer path = %v", rp.OuterPath)
+		}
+	}
+	// One variant must read R∪δ on its inner occurrence and the other
+	// plain R, per the semi-naive expansion.
+	full := 0
+	for _, rp := range sp.RecRules {
+		full += len(rp.InnerFull)
+	}
+	if full != 1 {
+		t.Fatalf("InnerFull count = %d, want 1", full)
+	}
+}
+
+func TestPlanMutualRecursionPaths(t *testing.T) {
+	p := buildPlan(t, `
+		attend(X) :- organizer(X).
+		cnt(Y, count<X>) :- attend(X), friend(Y, X).
+		attend(X) :- cnt(X, N), N >= 3.
+	`, map[string]*storage.Schema{
+		"organizer": intSchema("organizer", "x"),
+		"friend":    intSchema("friend", "y", "x"),
+	}, nil)
+	var sp *StratumPlan
+	for _, s := range p.Strata {
+		if s.Stratum.Mutual {
+			sp = s
+		}
+	}
+	if sp == nil {
+		t.Fatal("mutual stratum missing")
+	}
+	if sp.Preds["attend"].Broadcast || sp.Preds["cnt"].Broadcast {
+		t.Fatal("mutual recursion here does not need broadcast")
+	}
+	if !equalInts(sp.Preds["cnt"].Paths[0], []int{0}) {
+		t.Fatalf("cnt paths = %v", sp.Preds["cnt"].Paths)
+	}
+	if len(sp.BaseRules) != 1 || len(sp.RecRules) != 2 {
+		t.Fatalf("base=%d rec=%d", len(sp.BaseRules), len(sp.RecRules))
+	}
+}
+
+func TestPlanBroadcastFallback(t *testing.T) {
+	// The inner lookup key (Z, bound by the base atom, not the outer
+	// recursive atom) cannot be aligned with the outer partitioning,
+	// so the stratum must fall back to broadcast.
+	p := buildPlan(t, `
+		q(X, Y) :- arc(X, Y).
+		q(X, Y) :- q(X, W), arc(W, Z), q(Z, Y).
+	`, graphSchemas(), nil)
+	pp := p.Strata[0].Preds["q"]
+	if !pp.Broadcast {
+		t.Fatalf("expected broadcast fallback, paths = %v", pp.Paths)
+	}
+	if len(pp.Paths) != 1 {
+		t.Fatalf("broadcast should use one primary path, got %v", pp.Paths)
+	}
+}
+
+func TestPlanNegationScheduledWhenBound(t *testing.T) {
+	p := buildPlan(t, `
+		tc(X, Y) :- arc(X, Y).
+		tc(X, Y) :- tc(X, Z), arc(Z, Y).
+		unreach(X, Y) :- arc(X, _), arc(Y, _), !tc(X, Y).
+	`, graphSchemas(), nil)
+	last := p.Strata[len(p.Strata)-1]
+	rp := last.BaseRules[0]
+	neg := rp.Elems[len(rp.Elems)-1]
+	if neg.Kind != ElemNeg || neg.Atom.Pred != "tc" {
+		t.Fatalf("final elem = %+v", neg)
+	}
+	if len(neg.BoundCols) != 2 {
+		t.Fatalf("neg bound cols = %v", neg.BoundCols)
+	}
+}
+
+func TestPlanHashJoinHeuristic(t *testing.T) {
+	// Two base atoms sharing the same join variable P: the paper's
+	// heuristic labels the probe a hash join.
+	p := buildPlan(t, `
+		sib(X, Y) :- arc(P, X), arc(P, Y), X != Y.
+	`, graphSchemas(), nil)
+	rp := p.Strata[0].BaseRules[0]
+	var method JoinMethod
+	for i, e := range rp.Elems {
+		if i > 0 && e.Kind == ElemAtom {
+			method = e.Method
+		}
+	}
+	if method != HashJoin {
+		t.Fatalf("method = %v, want hash-join", method)
+	}
+}
+
+func TestPlanExplainMentionsEverything(t *testing.T) {
+	p := buildPlan(t, `
+		cc2(Y, min<Y>) :- arc(Y, _).
+		cc2(Y, min<Z>) :- cc2(X, Z), arc(X, Y).
+		cc(Y, min<Z>) :- cc2(Y, Z).
+	`, graphSchemas(), nil)
+	out := p.Explain()
+	for _, want := range []string{"stratum 0", "recursive", "δcc2", "distribute+gather", "store cc2 agg=min", "paths=[[0]]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlanUnschedulableRuleFails(t *testing.T) {
+	// Safety passes (Y is bound by arc) but force a condition with an
+	// unbindable variable through a crafted program: actually safety
+	// catches everything, so instead check orderRule directly with an
+	// artificial rule: p(X) :- arc(X, Y), X < Z. must fail analysis,
+	// confirming the planner never sees unschedulable rules.
+	_, err := pcg.Analyze(parser.MustParse(`p(X) :- arc(X, Y), X < Z.`), graphSchemas(), nil)
+	if err == nil {
+		t.Fatal("unsafe rule must be rejected before planning")
+	}
+}
+
+func TestPlanFactRule(t *testing.T) {
+	p := buildPlan(t, `
+		seed(1, 2).
+		tc(X, Y) :- seed(X, Y).
+		tc(X, Y) :- tc(X, Z), seed(Z, Y).
+	`, nil, nil)
+	// seed's stratum: a fact rule with no body.
+	var factPlan *RulePlan
+	for _, sp := range p.Strata {
+		for _, rp := range sp.BaseRules {
+			if rp.Rule.IsFact() {
+				factPlan = rp
+			}
+		}
+	}
+	if factPlan == nil {
+		t.Fatal("fact rule not planned")
+	}
+	if len(factPlan.Elems) != 0 {
+		t.Fatalf("fact pipeline = %v", factPlan.Elems)
+	}
+	if _, ok := factPlan.Rule.Head.Args[0].(*ast.Num); !ok {
+		t.Fatal("fact head should be constants")
+	}
+}

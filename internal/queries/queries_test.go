@@ -1,0 +1,136 @@
+package queries
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/pcg"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// TestAllQueriesAnalyzeAndPlan parses, analyzes and plans every paper
+// program against its declared EDB schemas.
+func TestAllQueriesAnalyzeAndPlan(t *testing.T) {
+	for _, q := range All() {
+		t.Run(q.Name, func(t *testing.T) {
+			prog, err := parser.Parse(q.Source)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			schemas := map[string]*storage.Schema{}
+			for _, s := range q.EDB {
+				schemas[s.Name] = s
+			}
+			params := map[string]storage.Type{}
+			for _, p := range q.Params {
+				params[p] = storage.TFloat
+				if p == "start" {
+					params[p] = storage.TInt
+				}
+			}
+			a, err := pcg.Analyze(prog, schemas, params)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			if a.StratumOf(q.Output) < 0 {
+				t.Fatalf("output predicate %s is not derived", q.Output)
+			}
+			if _, err := plan.Build(a); err != nil {
+				t.Fatalf("plan: %v", err)
+			}
+		})
+	}
+}
+
+// TestQueryShapes pins the structural properties the paper highlights
+// for each program.
+func TestQueryShapes(t *testing.T) {
+	shape := func(q Query) *pcg.Analysis {
+		prog := parser.MustParse(q.Source)
+		schemas := map[string]*storage.Schema{}
+		for _, s := range q.EDB {
+			schemas[s.Name] = s
+		}
+		params := map[string]storage.Type{}
+		for _, p := range q.Params {
+			params[p] = storage.TFloat
+			if p == "start" {
+				params[p] = storage.TInt
+			}
+		}
+		a, err := pcg.Analyze(prog, schemas, params)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		return a
+	}
+
+	recursiveStratum := func(a *pcg.Analysis) *pcg.Stratum {
+		for _, s := range a.Strata {
+			if s.Recursive {
+				return s
+			}
+		}
+		return nil
+	}
+
+	if s := recursiveStratum(shape(TC())); s == nil || s.NonLinear || s.Mutual {
+		t.Error("TC must be plain linear recursion")
+	}
+	if s := recursiveStratum(shape(APSP())); s == nil || !s.NonLinear {
+		t.Error("APSP must be non-linear")
+	}
+	if s := recursiveStratum(shape(Attend())); s == nil || !s.Mutual {
+		t.Error("Attend must be mutual recursion")
+	}
+	if a := shape(CC()); a.Aggregates["cc2"] != storage.AggMin {
+		t.Error("CC must aggregate with min")
+	}
+	if a := shape(Delivery()); a.Aggregates["delivery"] != storage.AggMax {
+		t.Error("Delivery must aggregate with max")
+	}
+	if a := shape(PR()); a.Aggregates["rank"] != storage.AggSum {
+		t.Error("PR must aggregate with sum")
+	}
+	if a := shape(Attend()); a.Aggregates["cnt"] != storage.AggCount {
+		t.Error("Attend must count")
+	}
+	if a := shape(SSSP()); a.Aggregates["sp"] != storage.AggMin {
+		t.Error("SSSP must aggregate with min")
+	}
+}
+
+func TestQueryMetadata(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("expected the paper's 8 programs, got %d", len(all))
+	}
+	names := map[string]bool{}
+	for _, q := range all {
+		if q.Name == "" || q.Source == "" || q.Output == "" {
+			t.Fatalf("incomplete query %+v", q)
+		}
+		if names[q.Name] {
+			t.Fatalf("duplicate query name %s", q.Name)
+		}
+		names[q.Name] = true
+	}
+	for _, want := range []string{"TC", "CC", "APSP", "Attend", "SG", "PR", "SSSP", "Delivery"} {
+		if !names[want] {
+			t.Fatalf("missing query %s", want)
+		}
+	}
+	if len(PR().Params) != 2 || len(SSSP().Params) != 1 {
+		t.Fatal("parameter lists wrong")
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	if Arc().Arity() != 2 || WArc().Arity() != 3 || Matrix().Arity() != 3 {
+		t.Fatal("schema arities")
+	}
+	if Matrix().ColType(2) != storage.TFloat {
+		t.Fatal("matrix degree must be float")
+	}
+}

@@ -1,0 +1,169 @@
+// Package queueing implements the G/G/1 statistics behind the paper's
+// Dynamic Weight-based Strategy (§4.2): incremental arrival-rate and
+// service-rate trackers, the buffer-weighted composition of per-producer
+// arrival processes (Equation 1), and Kingman's heavy-traffic estimate
+// of the mean queue length (Equation 2) from which each worker derives
+// its proceed threshold ω_i and wait budget τ_i.
+package queueing
+
+import "math"
+
+// welford accumulates a running mean and variance incrementally.
+type welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+func (w *welford) add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+func (w *welford) variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// ArrivalTracker maintains the arrival statistics (λ_j, σ²_a,j) of one
+// message buffer M_i^j. The consumer records each drained batch with
+// the producer's send timestamp; per-tuple inter-arrival times are
+// approximated by spreading the gap between batches across the batch.
+type ArrivalTracker struct {
+	lastArrival int64 // nanoseconds of the previous batch
+	inter       welford
+	tuples      int64
+}
+
+// Record notes a drained batch of n tuples stamped sentAt (nanoseconds).
+func (a *ArrivalTracker) Record(n int, sentAt int64) {
+	if n <= 0 {
+		return
+	}
+	if a.lastArrival != 0 && sentAt > a.lastArrival {
+		gap := float64(sentAt-a.lastArrival) / 1e9 / float64(n)
+		for i := 0; i < n; i++ {
+			a.inter.add(gap)
+		}
+	}
+	a.lastArrival = sentAt
+	a.tuples += int64(n)
+}
+
+// Tuples returns the cumulative number of tuples observed; it serves as
+// the buffer weight |M_i^j| in Equation 1.
+func (a *ArrivalTracker) Tuples() int64 { return a.tuples }
+
+// Lambda returns the mean arrival rate λ_j in tuples per second, or 0
+// when unknown.
+func (a *ArrivalTracker) Lambda() float64 {
+	if a.inter.n == 0 || a.inter.mean <= 0 {
+		return 0
+	}
+	return 1 / a.inter.mean
+}
+
+// SigmaA2 returns the variance σ²_a,j of per-tuple inter-arrival times.
+func (a *ArrivalTracker) SigmaA2() float64 { return a.inter.variance() }
+
+// ServiceTracker maintains the service statistics (μ, σ²_s) of a
+// worker: the reciprocal of the average per-tuple computation time.
+type ServiceTracker struct {
+	per welford
+}
+
+// Record notes a local iteration that processed n tuples in d seconds.
+func (s *ServiceTracker) Record(n int, d float64) {
+	if n <= 0 || d <= 0 {
+		return
+	}
+	per := d / float64(n)
+	for i := 0; i < n; i++ {
+		s.per.add(per)
+	}
+}
+
+// Mu returns the mean service rate μ in tuples per second, or 0 when
+// unknown.
+func (s *ServiceTracker) Mu() float64 {
+	if s.per.n == 0 || s.per.mean <= 0 {
+		return 0
+	}
+	return 1 / s.per.mean
+}
+
+// SigmaS2 returns the variance σ²_s of per-tuple service times.
+func (s *ServiceTracker) SigmaS2() float64 { return s.per.variance() }
+
+// Combine merges the per-producer arrival processes into the worker's
+// aggregate (λ, σ²_a) following Equation 1, weighting each producer by
+// its buffer volume. Producers with no observations are skipped.
+func Combine(trackers []*ArrivalTracker) (lambda, sigmaA2 float64) {
+	var wSum, invSum, varSum float64
+	for _, t := range trackers {
+		lj := t.Lambda()
+		w := float64(t.Tuples())
+		if lj <= 0 || w <= 0 {
+			continue
+		}
+		wSum += w
+		invSum += w / lj
+		varSum += w * (t.SigmaA2() + 1/(lj*lj))
+	}
+	if wSum == 0 || invSum == 0 {
+		return 0, 0
+	}
+	lambda = wSum / invSum
+	sigmaA2 = varSum/wSum - 1/(lambda*lambda)
+	if sigmaA2 < 0 {
+		sigmaA2 = 0
+	}
+	return lambda, sigmaA2
+}
+
+// Kingman estimates the mean queue length L_q under the G/G/1 model
+// (Equation 2): L_q ≈ ρ²(C²_a + C²_s) / (2(1-ρ)) with ρ = λ/μ,
+// C²_a = λ²σ²_a and C²_s = μ²σ²_s. For ρ ≥ 1 the queue is unstable and
+// the estimate is +Inf.
+func Kingman(lambda, sigmaA2, mu, sigmaS2 float64) float64 {
+	if lambda <= 0 || mu <= 0 {
+		return 0
+	}
+	rho := lambda / mu
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	ca2 := lambda * lambda * sigmaA2
+	cs2 := mu * mu * sigmaS2
+	return rho * rho * (ca2 + cs2) / (2 * (1 - rho))
+}
+
+// Decision is the (ω_i, τ_i) pair a worker derives each iteration.
+type Decision struct {
+	// Omega is the delta-cardinality threshold: proceed immediately
+	// when |δR_i| ≥ Omega.
+	Omega int
+	// Tau is the maximum time in seconds to wait for more tuples.
+	Tau float64
+}
+
+// Decide derives (ω_i, τ_i) from the worker's current statistics. When
+// the queue is unstable (arrivals outpace service) waiting is pointless
+// and the worker proceeds with whatever it has; when statistics are not
+// yet warmed up it also proceeds immediately.
+func Decide(lambda, sigmaA2, mu, sigmaS2 float64, maxWait float64) Decision {
+	lq := Kingman(lambda, sigmaA2, mu, sigmaS2)
+	if lq <= 0 || math.IsInf(lq, 1) || math.IsNaN(lq) {
+		return Decision{Omega: 0, Tau: 0}
+	}
+	omega := int(math.Ceil(lq))
+	tau := lq / lambda // mean waiting time in queue: L_q / λ
+	if tau > maxWait {
+		tau = maxWait
+	}
+	return Decision{Omega: omega, Tau: tau}
+}

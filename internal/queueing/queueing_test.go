@@ -1,0 +1,159 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestArrivalTracker(t *testing.T) {
+	var a ArrivalTracker
+	// Batches of 10 tuples every 10ms → 1000 tuples/s.
+	now := int64(1e9)
+	for i := 0; i < 100; i++ {
+		a.Record(10, now)
+		now += 10e6
+	}
+	if a.Tuples() != 1000 {
+		t.Fatalf("tuples = %d", a.Tuples())
+	}
+	l := a.Lambda()
+	if l < 900 || l > 1100 {
+		t.Fatalf("lambda = %g, want ≈1000", l)
+	}
+	// Perfectly regular arrivals have (near) zero variance.
+	if a.SigmaA2() > 1e-12 {
+		t.Fatalf("sigmaA2 = %g, want ~0", a.SigmaA2())
+	}
+}
+
+func TestArrivalTrackerIgnoresEmptyAndBackwards(t *testing.T) {
+	var a ArrivalTracker
+	a.Record(0, 100)
+	if a.Tuples() != 0 {
+		t.Fatal("empty batch counted")
+	}
+	a.Record(5, 1e9)
+	a.Record(5, 5e8) // clock went backwards: no interval recorded
+	if a.Lambda() != 0 {
+		t.Fatalf("lambda from backwards clock = %g", a.Lambda())
+	}
+}
+
+func TestServiceTracker(t *testing.T) {
+	var s ServiceTracker
+	// 100 tuples in 0.1s → 1000 tuples/s.
+	for i := 0; i < 10; i++ {
+		s.Record(100, 0.1)
+	}
+	mu := s.Mu()
+	if mu < 900 || mu > 1100 {
+		t.Fatalf("mu = %g, want ≈1000", mu)
+	}
+	if s.SigmaS2() > 1e-12 {
+		t.Fatalf("sigmaS2 = %g", s.SigmaS2())
+	}
+}
+
+func TestCombineSingleProducer(t *testing.T) {
+	var a ArrivalTracker
+	now := int64(1e9)
+	for i := 0; i < 50; i++ {
+		a.Record(4, now)
+		now += 4e6 // 1000 tuples/s
+	}
+	l, s2 := Combine([]*ArrivalTracker{&a})
+	if math.Abs(l-a.Lambda()) > 1 {
+		t.Fatalf("combined lambda = %g vs %g", l, a.Lambda())
+	}
+	if s2 < 0 {
+		t.Fatalf("sigma² = %g", s2)
+	}
+}
+
+func TestCombineWeightsByVolume(t *testing.T) {
+	fast, slow := &ArrivalTracker{}, &ArrivalTracker{}
+	now := int64(1e9)
+	for i := 0; i < 100; i++ {
+		fast.Record(10, now) // 10k tuples in total at 1000/s
+		now += 10e6
+	}
+	now = int64(1e9)
+	for i := 0; i < 2; i++ {
+		slow.Record(1, now) // 2 tuples at 10/s
+		now += 100e6
+	}
+	l, _ := Combine([]*ArrivalTracker{fast, slow})
+	// The fast producer dominates by volume, so λ stays near 1000.
+	if l < 500 {
+		t.Fatalf("combined lambda = %g, should be dominated by the fast producer", l)
+	}
+}
+
+func TestCombineEmpty(t *testing.T) {
+	l, s2 := Combine(nil)
+	if l != 0 || s2 != 0 {
+		t.Fatal("empty combine should be zero")
+	}
+	l, s2 = Combine([]*ArrivalTracker{{}, {}})
+	if l != 0 || s2 != 0 {
+		t.Fatal("unwarmed trackers should combine to zero")
+	}
+}
+
+func TestKingman(t *testing.T) {
+	// M/M/1-like: λ=50, μ=100, exponential variances σ² = 1/rate².
+	lq := Kingman(50, 1.0/(50*50), 100, 1.0/(100*100))
+	// For M/M/1, L_q = ρ²/(1-ρ) = 0.25/0.5 = 0.5; Kingman is exact there.
+	if math.Abs(lq-0.5) > 1e-9 {
+		t.Fatalf("Lq = %g, want 0.5", lq)
+	}
+	if !math.IsInf(Kingman(100, 0, 50, 0), 1) {
+		t.Fatal("unstable queue should be +Inf")
+	}
+	if Kingman(0, 0, 100, 0) != 0 {
+		t.Fatal("no arrivals should give 0")
+	}
+	// Deterministic D/D/1: no variance → empty queue.
+	if lq := Kingman(50, 0, 100, 0); lq != 0 {
+		t.Fatalf("D/D/1 Lq = %g, want 0", lq)
+	}
+}
+
+func TestKingmanGrowsWithLoad(t *testing.T) {
+	prev := -1.0
+	for _, rho := range []float64{0.2, 0.5, 0.8, 0.95} {
+		mu := 100.0
+		l := rho * mu
+		lq := Kingman(l, 1/(l*l), mu, 1/(mu*mu))
+		if lq <= prev {
+			t.Fatalf("Lq not increasing at ρ=%g: %g <= %g", rho, lq, prev)
+		}
+		prev = lq
+	}
+}
+
+func TestDecide(t *testing.T) {
+	// Stable queue with variability → positive ω and τ.
+	d := Decide(50, 1.0/(50*50), 100, 1.0/(100*100), 1.0)
+	if d.Omega < 1 {
+		t.Fatalf("omega = %d, want ≥ 1", d.Omega)
+	}
+	if d.Tau <= 0 || d.Tau > 1.0 {
+		t.Fatalf("tau = %g", d.Tau)
+	}
+	// Unstable queue: never wait.
+	d = Decide(200, 1e-6, 100, 1e-6, 1.0)
+	if d.Omega != 0 || d.Tau != 0 {
+		t.Fatalf("unstable decision = %+v, want zero", d)
+	}
+	// Cold start: never wait.
+	d = Decide(0, 0, 0, 0, 1.0)
+	if d.Omega != 0 || d.Tau != 0 {
+		t.Fatalf("cold decision = %+v", d)
+	}
+	// τ is clamped to the timeout bound.
+	d = Decide(1, 100, 2, 100, 0.01)
+	if d.Tau > 0.01 {
+		t.Fatalf("tau = %g not clamped", d.Tau)
+	}
+}

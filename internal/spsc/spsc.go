@@ -1,0 +1,110 @@
+// Package spsc implements the single-producer single-consumer ring
+// queue from paper §6.1. During DWS evaluation a worker W_i that wants
+// to hand tuples to W_j appends to the dedicated buffer M_j^i; because
+// exactly one goroutine ever pushes and exactly one ever pops, the ring
+// needs no locks — the head and tail indexes are maintained with atomic
+// loads and stores, and each side caches the opposing index to avoid
+// cache-line ping-pong.
+package spsc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// pad keeps the producer and consumer indexes on separate cache lines.
+type pad [56]byte
+
+// Queue is a bounded SPSC ring. The zero value is not usable; construct
+// with New.
+type Queue[T any] struct {
+	buf  []T
+	mask uint64
+
+	_    pad
+	head atomic.Uint64 // next slot to pop; advanced by the consumer
+	// cachedTail is the consumer's last observed tail.
+	cachedTail uint64
+
+	_    pad
+	tail atomic.Uint64 // next slot to push; advanced by the producer
+	// cachedHead is the producer's last observed head.
+	cachedHead uint64
+	_          pad
+}
+
+// New returns a queue with capacity rounded up to the next power of
+// two (minimum 2).
+func New[T any](capacity int) *Queue[T] {
+	n := uint64(2)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	return &Queue[T]{buf: make([]T, n), mask: n - 1}
+}
+
+// Cap returns the fixed capacity of the ring.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// TryPush appends v, reporting false when the ring is full. Only one
+// goroutine may call TryPush/Push.
+func (q *Queue[T]) TryPush(v T) bool {
+	tail := q.tail.Load()
+	if tail-q.cachedHead >= uint64(len(q.buf)) {
+		q.cachedHead = q.head.Load()
+		if tail-q.cachedHead >= uint64(len(q.buf)) {
+			return false
+		}
+	}
+	q.buf[tail&q.mask] = v
+	q.tail.Store(tail + 1)
+	return true
+}
+
+// Push appends v, yielding the processor while the ring is full.
+func (q *Queue[T]) Push(v T) {
+	for !q.TryPush(v) {
+		runtime.Gosched()
+	}
+}
+
+// TryPop removes the oldest element, reporting false when the ring is
+// empty. Only one goroutine may call TryPop/Drain.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	head := q.head.Load()
+	if head >= q.cachedTail {
+		q.cachedTail = q.tail.Load()
+		if head >= q.cachedTail {
+			return zero, false
+		}
+	}
+	v := q.buf[head&q.mask]
+	q.buf[head&q.mask] = zero // release for GC
+	q.head.Store(head + 1)
+	return v, true
+}
+
+// Drain pops every currently visible element into fn and returns the
+// number drained. This is the consumer's one-shot collection step from
+// §6.1 ("W_j can collect all contents from M_j in one operation").
+func (q *Queue[T]) Drain(fn func(T)) int {
+	n := 0
+	for {
+		v, ok := q.TryPop()
+		if !ok {
+			return n
+		}
+		fn(v)
+		n++
+	}
+}
+
+// Len reports the number of buffered elements. It is an instantaneous
+// estimate when called concurrently with push/pop.
+func (q *Queue[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// Empty reports whether the ring currently holds no elements.
+func (q *Queue[T]) Empty() bool { return q.Len() == 0 }

@@ -1,0 +1,155 @@
+package spsc
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestPushPopOrder(t *testing.T) {
+	q := New[int](8)
+	for i := 0; i < 5; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("TryPush(%d) failed", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("TryPop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	if got := New[int](5).Cap(); got != 8 {
+		t.Fatalf("Cap = %d, want 8", got)
+	}
+	if got := New[int](0).Cap(); got != 2 {
+		t.Fatalf("Cap = %d, want 2", got)
+	}
+	if got := New[int](16).Cap(); got != 16 {
+		t.Fatalf("Cap = %d, want 16", got)
+	}
+}
+
+func TestFullQueueRejectsPush(t *testing.T) {
+	q := New[int](4)
+	for i := 0; i < 4; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("push %d failed below capacity", i)
+		}
+	}
+	if q.TryPush(99) {
+		t.Fatal("push into full queue succeeded")
+	}
+	q.TryPop()
+	if !q.TryPush(99) {
+		t.Fatal("push after pop failed")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := New[int](4)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			if !q.TryPush(round*10 + i) {
+				t.Fatal("push failed")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.TryPop()
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d: pop = (%d,%v)", round, v, ok)
+			}
+		}
+	}
+}
+
+func TestDrain(t *testing.T) {
+	q := New[int](16)
+	for i := 0; i < 10; i++ {
+		q.TryPush(i)
+	}
+	var got []int
+	n := q.Drain(func(v int) { got = append(got, v) })
+	if n != 10 || len(got) != 10 {
+		t.Fatalf("Drain = %d, got %v", n, got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("drain order: %v", got)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty after drain")
+	}
+}
+
+func TestLen(t *testing.T) {
+	q := New[int](8)
+	if q.Len() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	q.TryPush(1)
+	q.TryPush(2)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+}
+
+// TestConcurrentFIFO drives a real producer/consumer pair through a
+// small ring, checking that every element arrives exactly once and in
+// order — the property the engine's delta exchange relies on.
+func TestConcurrentFIFO(t *testing.T) {
+	const n = 20000
+	q := New[int](64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			q.Push(i)
+		}
+	}()
+	next := 0
+	for next < n {
+		v, ok := q.TryPop()
+		if !ok {
+			runtime.Gosched() // single-core hosts need the yield
+			continue
+		}
+		if v != next {
+			t.Errorf("out of order: got %d, want %d", v, next)
+			break
+		}
+		next++
+	}
+	wg.Wait()
+	if next != n {
+		t.Fatalf("consumed %d of %d", next, n)
+	}
+}
+
+func TestPointerValuesReleased(t *testing.T) {
+	q := New[*int](4)
+	v := 7
+	q.TryPush(&v)
+	q.TryPop()
+	// The slot behind head must be zeroed so the GC can reclaim it.
+	if q.buf[0] != nil {
+		t.Fatal("popped slot still references the element")
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := New[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.TryPush(i)
+		q.TryPop()
+	}
+}

@@ -1,0 +1,55 @@
+package storage
+
+// HashIndex is an equi-join index over a fixed tuple set: it maps the
+// hash of the key columns to the matching tuples. Base relations are
+// indexed once per partition before evaluation begins (Algorithm 1,
+// line 3) and never mutated afterwards, so the index is built in one
+// pass and read concurrently without synchronization.
+type HashIndex struct {
+	keyCols []int
+	buckets map[uint64][]Tuple
+}
+
+// NewHashIndex builds an index over tuples on the given key columns.
+func NewHashIndex(tuples []Tuple, keyCols []int) *HashIndex {
+	idx := &HashIndex{
+		keyCols: keyCols,
+		buckets: make(map[uint64][]Tuple, len(tuples)),
+	}
+	for _, t := range tuples {
+		h := t.HashOn(keyCols)
+		idx.buckets[h] = append(idx.buckets[h], t)
+	}
+	return idx
+}
+
+// KeyCols returns the indexed columns.
+func (idx *HashIndex) KeyCols() []int { return idx.keyCols }
+
+// Lookup streams every tuple whose key columns equal key, in build
+// order, until fn returns false.
+func (idx *HashIndex) Lookup(key []Value, fn func(Tuple) bool) {
+	h := HashValues(key)
+	for _, t := range idx.buckets[h] {
+		match := true
+		for i, c := range idx.keyCols {
+			if t[c] != key[i] {
+				match = false
+				break
+			}
+		}
+		if match && !fn(t) {
+			return
+		}
+	}
+}
+
+// LookupAll collects the matches for key into a fresh slice.
+func (idx *HashIndex) LookupAll(key []Value) []Tuple {
+	var out []Tuple
+	idx.Lookup(key, func(t Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}

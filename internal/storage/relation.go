@@ -1,0 +1,82 @@
+package storage
+
+// Relation is the common surface of the two tuple containers used during
+// semi-naive evaluation: deduplicating set relations and keyed aggregate
+// relations.
+type Relation interface {
+	// Schema returns the relation's typed shape.
+	Schema() *Schema
+	// Len reports the number of (distinct) tuples currently held.
+	Len() int
+	// Insert adds a tuple, reporting whether the relation changed.
+	Insert(t Tuple) bool
+	// Contains reports whether the tuple (for sets: exactly; for
+	// aggregates: its group key with a value at least as good) is
+	// already represented.
+	Contains(t Tuple) bool
+	// ForEach visits every current tuple until fn returns false.
+	ForEach(fn func(Tuple) bool)
+	// Snapshot returns the current tuples. The result must not be
+	// mutated and is invalidated by subsequent inserts.
+	Snapshot() []Tuple
+}
+
+// SetRelation is a deduplicating tuple set with insertion-ordered
+// iteration. It backs recursive predicates with set semantics such as
+// tc and sg.
+type SetRelation struct {
+	schema  *Schema
+	buckets map[uint64][]int32
+	tuples  []Tuple
+}
+
+// NewSetRelation returns an empty set relation over the schema.
+func NewSetRelation(schema *Schema) *SetRelation {
+	return &SetRelation{
+		schema:  schema,
+		buckets: make(map[uint64][]int32),
+	}
+}
+
+// Schema implements Relation.
+func (r *SetRelation) Schema() *Schema { return r.schema }
+
+// Len implements Relation.
+func (r *SetRelation) Len() int { return len(r.tuples) }
+
+// Insert adds t if absent and reports whether it was new. The tuple is
+// retained by reference; callers that reuse buffers must pass a copy.
+func (r *SetRelation) Insert(t Tuple) bool {
+	h := t.Hash()
+	for _, idx := range r.buckets[h] {
+		if r.tuples[idx].Equal(t) {
+			return false
+		}
+	}
+	r.buckets[h] = append(r.buckets[h], int32(len(r.tuples)))
+	r.tuples = append(r.tuples, t)
+	return true
+}
+
+// Contains implements Relation.
+func (r *SetRelation) Contains(t Tuple) bool {
+	h := t.Hash()
+	for _, idx := range r.buckets[h] {
+		if r.tuples[idx].Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach implements Relation.
+func (r *SetRelation) ForEach(fn func(Tuple) bool) {
+	for _, t := range r.tuples {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Snapshot implements Relation.
+func (r *SetRelation) Snapshot() []Tuple { return r.tuples }

@@ -1,0 +1,65 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is the typed shape of a relation. Schemas are immutable once
+// shared with the engine.
+type Schema struct {
+	Name string
+	Cols []Column
+}
+
+// NewSchema builds a schema from alternating column names and types.
+func NewSchema(name string, cols ...Column) *Schema {
+	return &Schema{Name: name, Cols: cols}
+}
+
+// Arity returns the number of columns.
+func (s *Schema) Arity() int { return len(s.Cols) }
+
+// ColType returns the type of column i.
+func (s *Schema) ColType(i int) Type { return s.Cols[i].Type }
+
+// ColIndex finds a column by name, returning -1 when absent.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the schema as "name(col:type, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('(')
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%s", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Project returns a schema holding the listed columns of s, named after
+// the projection target.
+func (s *Schema) Project(name string, cols []int) *Schema {
+	out := &Schema{Name: name, Cols: make([]Column, len(cols))}
+	for i, c := range cols {
+		out.Cols[i] = s.Cols[c]
+	}
+	return out
+}

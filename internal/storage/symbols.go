@@ -1,0 +1,53 @@
+package storage
+
+import "sync"
+
+// SymbolTable interns strings so that string-valued columns can be
+// stored and joined as 64-bit integers. It is safe for concurrent use:
+// parallel workers intern symbols while materializing join results.
+type SymbolTable struct {
+	mu   sync.RWMutex
+	ids  map[string]int64
+	strs []string
+}
+
+// NewSymbolTable returns an empty symbol table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{ids: make(map[string]int64)}
+}
+
+// Intern returns the id for s, assigning a fresh one on first use.
+func (t *SymbolTable) Intern(s string) int64 {
+	t.mu.RLock()
+	id, ok := t.ids[s]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id = int64(len(t.strs))
+	t.ids[s] = id
+	t.strs = append(t.strs, s)
+	return id
+}
+
+// Lookup resolves an id back to its string.
+func (t *SymbolTable) Lookup(id int64) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || id >= int64(len(t.strs)) {
+		return "", false
+	}
+	return t.strs[id], true
+}
+
+// Len reports the number of interned symbols.
+func (t *SymbolTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.strs)
+}

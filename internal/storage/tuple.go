@@ -1,0 +1,106 @@
+package storage
+
+import "strings"
+
+// Tuple is one row of a relation: a flat slice of 64-bit values whose
+// interpretation comes from the relation's schema.
+type Tuple []Value
+
+// Clone returns an independent copy of t.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports whether two tuples are identical word-for-word.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualOn reports whether t and o agree on the given columns, with o's
+// columns taken from ocols positionally.
+func (t Tuple) EqualOn(cols []int, o Tuple, ocols []int) bool {
+	for i := range cols {
+		if t[cols[i]] != o[ocols[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders a tuple under a schema for human-readable output.
+func (t Tuple) Format(s *Schema, st *SymbolTable) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		ty := TInt
+		if s != nil && i < len(s.Cols) {
+			ty = s.Cols[i].Type
+		}
+		b.WriteString(Format(v, ty, st))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Hash computes a 64-bit FNV-1a hash of the full tuple.
+func (t Tuple) Hash() uint64 {
+	return HashValues(t)
+}
+
+// HashOn computes a 64-bit hash over the listed columns only; it is the
+// partitioning and join hash used throughout the engine.
+func (t Tuple) HashOn(cols []int) uint64 {
+	h := fnvOffset
+	for _, c := range cols {
+		h = hashWord(h, uint64(t[c]))
+	}
+	return h
+}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// hashWord folds one 64-bit word into an FNV-1a state byte by byte.
+func hashWord(h, w uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= w & 0xff
+		h *= fnvPrime
+		w >>= 8
+	}
+	return h
+}
+
+// HashValues hashes an arbitrary value slice.
+func HashValues(vs []Value) uint64 {
+	h := fnvOffset
+	for _, v := range vs {
+		h = hashWord(h, uint64(v))
+	}
+	return h
+}
+
+// Mix finalizes a hash for use as a partition discriminator; it applies
+// a 64-bit avalanche so that consecutive keys spread across partitions.
+func Mix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

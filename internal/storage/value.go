@@ -1,0 +1,148 @@
+// Package storage provides the typed value model, tuple representation,
+// relation containers and hash indexes used by the DCDatalog engine.
+//
+// Values are flat 64-bit scalars whose interpretation (signed integer,
+// IEEE-754 double, or interned symbol) is carried by the column type in
+// the owning Schema, never by the value itself. This keeps tuples
+// hashable and comparable as raw words on the hot paths of semi-naive
+// evaluation while still supporting the float arithmetic that programs
+// such as PageRank (Query 6 in the paper) require.
+package storage
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Type enumerates the column types understood by the engine.
+type Type uint8
+
+const (
+	// TInt is a 64-bit signed integer column.
+	TInt Type = iota
+	// TFloat is a 64-bit IEEE-754 floating point column.
+	TFloat
+	// TSym is an interned string column; the value is an index into a
+	// SymbolTable.
+	TSym
+)
+
+// String returns the lower-case name of the type as used by the parser
+// in declarations such as ".decl arc(x:int, y:int)".
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TSym:
+		return "sym"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// ParseType converts a type name from program text into a Type.
+func ParseType(s string) (Type, error) {
+	switch s {
+	case "int", "number", "integer":
+		return TInt, nil
+	case "float", "double":
+		return TFloat, nil
+	case "sym", "symbol", "string":
+		return TSym, nil
+	default:
+		return 0, fmt.Errorf("storage: unknown column type %q", s)
+	}
+}
+
+// Value is an untyped 64-bit scalar. Interpretation is external: the
+// schema's column type says whether the bits are an int64, a float64 or
+// a symbol index.
+type Value uint64
+
+// IntVal packs a signed integer into a Value.
+func IntVal(i int64) Value { return Value(uint64(i)) }
+
+// Int unpacks a Value as a signed integer.
+func (v Value) Int() int64 { return int64(v) }
+
+// FloatVal packs a float64 into a Value.
+func FloatVal(f float64) Value { return Value(math.Float64bits(f)) }
+
+// Float unpacks a Value as a float64.
+func (v Value) Float() float64 { return math.Float64frombits(uint64(v)) }
+
+// SymVal packs a symbol index into a Value.
+func SymVal(id int64) Value { return Value(uint64(id)) }
+
+// Sym unpacks a Value as a symbol index.
+func (v Value) Sym() int64 { return int64(v) }
+
+// AsFloat reinterprets v of type t as a float64, promoting integers.
+// Symbols cannot be promoted and yield NaN.
+func (v Value) AsFloat(t Type) float64 {
+	switch t {
+	case TInt:
+		return float64(v.Int())
+	case TFloat:
+		return v.Float()
+	default:
+		return math.NaN()
+	}
+}
+
+// FromFloat packs f as a value of column type t, truncating for TInt.
+func FromFloat(f float64, t Type) Value {
+	if t == TFloat {
+		return FloatVal(f)
+	}
+	return IntVal(int64(f))
+}
+
+// Compare orders two values of the same column type. It returns a
+// negative number, zero, or a positive number when a sorts before,
+// equal to, or after b.
+func Compare(a, b Value, t Type) int {
+	switch t {
+	case TFloat:
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	default: // TInt and TSym order by signed integer value.
+		ai, bi := a.Int(), b.Int()
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+// Format renders a value of column type t for output, resolving symbols
+// through st when provided.
+func Format(v Value, t Type, st *SymbolTable) string {
+	switch t {
+	case TFloat:
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	case TSym:
+		if st != nil {
+			if s, ok := st.Lookup(v.Sym()); ok {
+				return s
+			}
+		}
+		return fmt.Sprintf("sym#%d", v.Sym())
+	default:
+		return strconv.FormatInt(v.Int(), 10)
+	}
+}

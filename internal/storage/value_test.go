@@ -1,0 +1,138 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntValRoundTrip(t *testing.T) {
+	for _, i := range []int64{0, 1, -1, math.MaxInt64, math.MinInt64, 42} {
+		if got := IntVal(i).Int(); got != i {
+			t.Errorf("IntVal(%d).Int() = %d", i, got)
+		}
+	}
+}
+
+func TestFloatValRoundTrip(t *testing.T) {
+	for _, f := range []float64{0, 1.5, -2.25, math.MaxFloat64, math.SmallestNonzeroFloat64} {
+		if got := FloatVal(f).Float(); got != f {
+			t.Errorf("FloatVal(%g).Float() = %g", f, got)
+		}
+	}
+}
+
+func TestValueRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(i int64) bool {
+		return IntVal(i).Int() == i
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(f float64) bool {
+		return math.IsNaN(f) || FloatVal(f).Float() == f
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareInt(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		want int
+	}{
+		{1, 2, -1}, {2, 1, 1}, {3, 3, 0}, {-5, 5, -1}, {math.MinInt64, math.MaxInt64, -1},
+	}
+	for _, c := range cases {
+		got := Compare(IntVal(c.a), IntVal(c.b), TInt)
+		if sign(got) != c.want {
+			t.Errorf("Compare(%d,%d) = %d, want sign %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareFloat(t *testing.T) {
+	if Compare(FloatVal(1.5), FloatVal(2.5), TFloat) >= 0 {
+		t.Error("1.5 should sort before 2.5")
+	}
+	if Compare(FloatVal(-0.0), FloatVal(0.0), TFloat) != 0 {
+		t.Error("-0.0 and 0.0 should compare equal")
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	if err := quick.Check(func(a, b int64) bool {
+		return sign(Compare(IntVal(a), IntVal(b), TInt)) == -sign(Compare(IntVal(b), IntVal(a), TInt))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAsFloatPromotesInt(t *testing.T) {
+	if got := IntVal(7).AsFloat(TInt); got != 7.0 {
+		t.Errorf("AsFloat = %g, want 7", got)
+	}
+	if got := FloatVal(2.5).AsFloat(TFloat); got != 2.5 {
+		t.Errorf("AsFloat = %g, want 2.5", got)
+	}
+	if !math.IsNaN(SymVal(3).AsFloat(TSym)) {
+		t.Error("symbol promotion should be NaN")
+	}
+}
+
+func TestFromFloat(t *testing.T) {
+	if got := FromFloat(3.9, TInt).Int(); got != 3 {
+		t.Errorf("FromFloat(3.9, TInt) = %d, want 3 (truncation)", got)
+	}
+	if got := FromFloat(3.9, TFloat).Float(); got != 3.9 {
+		t.Errorf("FromFloat(3.9, TFloat) = %g", got)
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Type
+	}{{"int", TInt}, {"integer", TInt}, {"number", TInt}, {"float", TFloat}, {"double", TFloat}, {"sym", TSym}, {"string", TSym}, {"symbol", TSym}} {
+		got, err := ParseType(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseType(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseType("blob"); err == nil {
+		t.Error("ParseType(blob) should fail")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	st := NewSymbolTable()
+	id := st.Intern("alice")
+	if got := Format(IntVal(-3), TInt, nil); got != "-3" {
+		t.Errorf("Format int = %q", got)
+	}
+	if got := Format(FloatVal(0.5), TFloat, nil); got != "0.5" {
+		t.Errorf("Format float = %q", got)
+	}
+	if got := Format(SymVal(id), TSym, st); got != "alice" {
+		t.Errorf("Format sym = %q", got)
+	}
+	if got := Format(SymVal(99), TSym, st); got != "sym#99" {
+		t.Errorf("Format unknown sym = %q", got)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TInt.String() != "int" || TFloat.String() != "float" || TSym.String() != "sym" {
+		t.Error("type names changed")
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
