@@ -22,9 +22,30 @@ func main() {
 	scale := flag.Float64("scale", 1, "dataset scale multiplier")
 	workers := flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS, min 4)")
 	seed := flag.Int64("seed", 42, "generator seed")
+	benchjson := flag.String("benchjson", "", "run the fixed tracking suite (TC, CC, SSSP, SG at 1/4/8 workers) and write JSON to this file ('-' = stdout)")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Workers: *workers, Seed: *seed}
+
+	if *benchjson != "" {
+		points := bench.Trajectory(cfg)
+		out := os.Stdout
+		if *benchjson != "-" {
+			f, err := os.Create(*benchjson)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := bench.WriteTrajectoryJSON(out, points); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	runners := map[string]func() []*bench.Table{
 		"table2": func() []*bench.Table { return []*bench.Table{bench.Table2(cfg)} },
 		"table3": func() []*bench.Table { return []*bench.Table{bench.Table3(cfg)} },

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+
+	dcdatalog "repro"
+	"repro/internal/datasets"
+	"repro/internal/queries"
+)
+
+// BenchPoint is one machine-readable measurement in the repo's
+// perf-trajectory record (BENCH_pr*.json): a query × dataset × worker
+// count cell, comparable across PRs.
+type BenchPoint struct {
+	Query   string  `json:"query"`
+	Dataset string  `json:"dataset"`
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	Tuples  int     `json:"tuples"`
+	Note    string  `json:"note,omitempty"`
+}
+
+// Trajectory runs the fixed tracking suite — TC, CC, SSSP and SG under
+// DWS at 1, 4 and 8 workers — and returns the points. The datasets are
+// deterministic in cfg.Seed so successive PRs measure identical
+// workloads.
+func Trajectory(cfg Config) []BenchPoint {
+	cfg = cfg.withDefaults()
+	workerCounts := []int{1, 4, 8}
+
+	type job struct {
+		query  queries.Query
+		dsName string
+		ds     dataset
+	}
+	var jobs []job
+
+	tcEdges := datasets.RMATn(cfg.scaled(512), cfg.Seed)
+	jobs = append(jobs, job{queries.TC(), "rmat-512", dataset{load: loadArcs(tcEdges)}})
+
+	ccEdges := datasets.Undirect(datasets.Gnp(cfg.scaled(8000), int(cfg.scaled(20000)), cfg.Seed))
+	jobs = append(jobs, job{queries.CC(), "gnp-8k", dataset{load: loadArcs(ccEdges)}})
+
+	ssspEdges := datasets.Undirect(datasets.RMATn(cfg.scaled(16000), cfg.Seed))
+	wedges := datasets.Weight(ssspEdges, 100, cfg.Seed)
+	jobs = append(jobs, job{queries.SSSP(), "rmat-16k", dataset{
+		load: loadWArcs(wedges),
+		opts: []dcdatalog.Option{dcdatalog.WithParam("start", whub(wedges))},
+	}})
+
+	sgEdges := datasets.Tree(6, 2, 3, cfg.Seed)
+	jobs = append(jobs, job{queries.SG(), "tree-6", dataset{load: loadArcs(sgEdges)}})
+
+	var points []BenchPoint
+	for _, j := range jobs {
+		for _, w := range workerCounts {
+			m := run(j.ds, j.query.Source, j.query.Output, dcdatalog.WithWorkers(w))
+			points = append(points, BenchPoint{
+				Query:   j.query.Name,
+				Dataset: j.dsName,
+				Workers: w,
+				Seconds: m.seconds,
+				Tuples:  m.tuples,
+				Note:    m.note,
+			})
+		}
+	}
+	return points
+}
+
+// WriteTrajectoryJSON renders the points as indented JSON.
+func WriteTrajectoryJSON(w io.Writer, points []BenchPoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(points)
+}

@@ -117,6 +117,28 @@ func (t *Tree) Insert(key storage.Tuple, val storage.Value) (storage.Value, bool
 	return prev, existed
 }
 
+// InsertFresh stores val under key like Insert, but the tree clones the
+// key only when it is actually added, so callers may pass a reusable
+// scratch buffer. The common repeat-key path (e.g. a count/sum
+// contributor deriving the same contribution again) is allocation-free.
+func (t *Tree) InsertFresh(key storage.Tuple, val storage.Value) (storage.Value, bool) {
+	n := t.root
+	for !n.leaf {
+		i, exact := t.search(n, key)
+		if exact {
+			i++
+		}
+		n = n.children[i]
+	}
+	if i, exact := t.search(n, key); exact {
+		prev := n.vals[i]
+		n.vals[i] = val
+		return prev, true
+	}
+	t.Insert(key.Clone(), val)
+	return 0, false
+}
+
 // Update applies fn to the payload under key, inserting fn(zero, false)
 // when absent. It reports whether the stored payload changed and
 // returns the resulting payload. This is the one-lookup merge path used

@@ -8,69 +8,131 @@ import "repro/internal/storage"
 // as the incoming derivation skips the logarithmic index probe
 // entirely. Each replica has its own cache and a single writer, so no
 // synchronization is needed.
+//
+// Keys are group prefixes of wire tuples (fixed width per replica), so
+// they are stored inline in one flat value array: put copies the key
+// words into the slot and never allocates.
 type existCache struct {
-	mask uint64
-	keys []storage.Tuple
-	vals []storage.Value
+	mask  uint64
+	width int
+	keys  []storage.Value // slot i holds keys[i*width:(i+1)*width]
+	vals  []storage.Value
+	full  []bool
 }
 
-// newExistCache returns a cache with 2^bits slots.
-func newExistCache(bits uint) *existCache {
+// newExistCache returns a cache with 2^bits slots for width-column
+// group keys.
+func newExistCache(bits uint, width int) *existCache {
 	n := uint64(1) << bits
 	return &existCache{
-		mask: n - 1,
-		keys: make([]storage.Tuple, n),
-		vals: make([]storage.Value, n),
+		mask:  n - 1,
+		width: width,
+		keys:  make([]storage.Value, int(n)*width),
+		vals:  make([]storage.Value, n),
+		full:  make([]bool, n),
 	}
 }
 
+// keyAt returns the key stored in a slot.
+func (c *existCache) keyAt(slot uint64) []storage.Value {
+	off := int(slot) * c.width
+	return c.keys[off : off+c.width]
+}
+
 // get returns the cached aggregate for the key, if present.
-func (c *existCache) get(h uint64, key storage.Tuple) (storage.Value, bool) {
+func (c *existCache) get(h uint64, key []storage.Value) (storage.Value, bool) {
 	slot := h & c.mask
-	k := c.keys[slot]
-	if k == nil || !k.Equal(key) {
+	if !c.full[slot] {
 		return 0, false
+	}
+	k := c.keyAt(slot)
+	for i := range k {
+		if k[i] != key[i] {
+			return 0, false
+		}
 	}
 	return c.vals[slot], true
 }
 
 // put stores the key's current aggregate, evicting whatever shared the
-// slot. The key is cloned so callers may reuse buffers.
-func (c *existCache) put(h uint64, key storage.Tuple, val storage.Value) {
+// slot. The key words are copied, so callers may reuse buffers.
+func (c *existCache) put(h uint64, key []storage.Value, val storage.Value) {
 	slot := h & c.mask
-	if k := c.keys[slot]; k != nil && k.Equal(key) {
-		c.vals[slot] = val
-		return
-	}
-	c.keys[slot] = key.Clone()
+	copy(c.keyAt(slot), key)
 	c.vals[slot] = val
+	c.full[slot] = true
 }
 
 // incIndex is the incremental equi-join index maintained on
 // set-semantics recursive replicas: tuples are immutable once inserted,
-// so the index only ever appends.
+// so the index only ever appends. It is a power-of-two bucket array of
+// chain heads over flat per-entry arrays (next pointer, cached key
+// hash, tuple view) — growth rebuilds the bucket heads from the cached
+// hashes, and steady-state adds only extend the entry arrays.
 type incIndex struct {
-	cols    []int
-	buckets map[uint64][]storage.Tuple
+	cols   []int
+	mask   uint64
+	head   []int32 // bucket -> most recent entry, -1 when empty
+	next   []int32 // entry -> previous entry in the same bucket
+	khash  []uint64
+	tuples []storage.Tuple
 }
+
+const incIndexMinBuckets = 16
 
 func newIncIndex(cols []int) *incIndex {
-	return &incIndex{cols: cols, buckets: make(map[uint64][]storage.Tuple)}
+	ix := &incIndex{
+		cols: cols,
+		mask: incIndexMinBuckets - 1,
+		head: make([]int32, incIndexMinBuckets),
+	}
+	for i := range ix.head {
+		ix.head[i] = -1
+	}
+	return ix
 }
 
-// add indexes a newly inserted tuple.
+// add indexes a newly inserted tuple. The tuple must be a stable view
+// (the set relation's arena guarantees this).
 func (ix *incIndex) add(t storage.Tuple) {
+	if len(ix.tuples) >= len(ix.head) {
+		ix.grow()
+	}
 	h := t.HashOn(ix.cols)
-	ix.buckets[h] = append(ix.buckets[h], t)
+	b := h & ix.mask
+	ix.next = append(ix.next, ix.head[b])
+	ix.head[b] = int32(len(ix.tuples))
+	ix.khash = append(ix.khash, h)
+	ix.tuples = append(ix.tuples, t)
 }
 
-// lookup streams tuples matching the key until fn returns false.
+// grow doubles the bucket array and re-chains every entry from its
+// cached key hash.
+func (ix *incIndex) grow() {
+	ix.head = make([]int32, 2*len(ix.head))
+	for i := range ix.head {
+		ix.head[i] = -1
+	}
+	ix.mask = uint64(len(ix.head) - 1)
+	for i, h := range ix.khash {
+		b := h & ix.mask
+		ix.next[i] = ix.head[b]
+		ix.head[b] = int32(i)
+	}
+}
+
+// lookup streams tuples matching the key until fn returns false
+// (most-recently-indexed first).
 func (ix *incIndex) lookup(key []storage.Value, fn func(storage.Tuple) bool) {
 	h := storage.HashValues(key)
-	for _, t := range ix.buckets[h] {
+	for i := ix.head[h&ix.mask]; i >= 0; i = ix.next[i] {
+		if ix.khash[i] != h {
+			continue
+		}
+		t := ix.tuples[i]
 		ok := true
-		for i, c := range ix.cols {
-			if t[c] != key[i] {
+		for j, c := range ix.cols {
+			if t[c] != key[j] {
 				ok = false
 				break
 			}

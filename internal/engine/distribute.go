@@ -13,31 +13,60 @@ import (
 // (§6.2.1): extremum batches keep only the best value per group,
 // count/sum batches deduplicate contributors, set batches deduplicate
 // tuples.
+//
+// Tuples are stored flat — row i occupies words[i*width:(i+1)*width] —
+// with the wire hash of every row kept alongside, and the dedup index
+// is an open-addressed, epoch-stamped slot table: clearing the batch is
+// a generation bump, not a reallocation, so a worker's out-buffers
+// reach a steady state where add/flush cycles allocate nothing.
 type outBatch struct {
 	agg      storage.AggKind
 	groupLen int
 	valType  storage.Type
 	partial  bool
-
-	tuples []storage.Tuple
-	// dedup maps a key hash to tuple indexes (chained on collision).
-	dedup map[uint64][]int32
+	width    int
+	// extCol extends the wire hash (group-key hash) with one trailing
+	// column to form the dedup identity: the contributor column of
+	// count/sum batches. -1 when the wire hash is the identity already.
+	extCol int
 	// keyCols are the partial-aggregation identity columns of the wire
-	// layout.
+	// layout (nil for set batches, which compare whole tuples).
 	keyCols []int
+
+	count  int
+	hashes []uint64        // wire hash per buffered row
+	words  []storage.Value // count*width, flat
+
+	slots []dedupSlot
+	mask  uint64
+	gen   uint32
 }
+
+// dedupSlot is one open-addressed dedup entry: a batch row index
+// stamped with the generation that wrote it. Slots from earlier
+// generations read as empty.
+type dedupSlot struct {
+	gen uint32
+	idx int32
+}
+
+const outBatchMinSlots = 64
 
 func newOutBatch(pred *physical.Pred, partial bool) *outBatch {
 	b := &outBatch{
 		agg:      pred.Plan.Agg,
 		groupLen: pred.Plan.GroupLen,
 		partial:  partial,
+		width:    wireWidth(pred),
+		extCol:   -1,
+		gen:      1,
 	}
 	if b.agg != storage.AggNone {
 		b.valType = pred.Plan.Schema.ColType(pred.Plan.Schema.Arity() - 1)
 	}
 	if partial {
-		b.dedup = make(map[uint64][]int32)
+		b.slots = make([]dedupSlot, outBatchMinSlots)
+		b.mask = outBatchMinSlots - 1
 		switch b.agg {
 		case storage.AggNone:
 			// identity = whole tuple
@@ -45,9 +74,11 @@ func newOutBatch(pred *physical.Pred, partial bool) *outBatch {
 			b.keyCols = upto(b.groupLen)
 		case storage.AggCount:
 			b.keyCols = upto(b.groupLen + 1) // group + contributor
+			b.extCol = b.groupLen
 		case storage.AggSum:
 			// group + contributor (value sits between them).
 			b.keyCols = append(upto(b.groupLen), b.groupLen+1)
+			b.extCol = b.groupLen + 1
 		}
 	}
 	return b
@@ -61,22 +92,46 @@ func upto(n int) []int {
 	return cols
 }
 
-// add appends a wire tuple, merging it into the batch when partial
-// aggregation applies, and returns the batch size.
-func (b *outBatch) add(wire storage.Tuple) int {
+// row returns the i-th buffered wire tuple as a view into the batch.
+func (b *outBatch) row(i int) storage.Tuple {
+	off := i * b.width
+	return storage.Tuple(b.words[off : off+b.width : off+b.width])
+}
+
+// dedupHash derives the dedup identity hash of a wire tuple from its
+// wire hash.
+func (b *outBatch) dedupHash(h uint64, wire storage.Tuple) uint64 {
+	if b.extCol >= 0 {
+		return storage.ExtendHash(h, wire[b.extCol])
+	}
+	return h
+}
+
+// push appends a wire tuple's words and hash to the flat storage.
+func (b *outBatch) push(h uint64, wire storage.Tuple) {
+	b.hashes = append(b.hashes, h)
+	b.words = append(b.words, wire...)
+	b.count++
+}
+
+// add buffers a wire tuple (copying it, so the caller may reuse the
+// buffer), merging it into the batch when partial aggregation applies,
+// and returns the batch size. h is the tuple's wire hash.
+func (b *outBatch) add(h uint64, wire storage.Tuple) int {
 	if !b.partial {
-		b.tuples = append(b.tuples, wire)
-		return len(b.tuples)
+		b.push(h, wire)
+		return b.count
 	}
-	var h uint64
-	if b.agg == storage.AggNone {
-		h = wire.Hash()
-	} else {
-		h = wire.HashOn(b.keyCols)
-	}
-	for _, idx := range b.dedup[h] {
-		t := b.tuples[idx]
+	dh := b.dedupHash(h, wire)
+	slot := dh & b.mask
+	for {
+		s := b.slots[slot]
+		if s.gen != b.gen {
+			break // empty under the current generation
+		}
+		t := b.row(int(s.idx))
 		if !sameKey(t, wire, b.agg, b.keyCols) {
+			slot = (slot + 1) & b.mask
 			continue
 		}
 		switch b.agg {
@@ -84,21 +139,57 @@ func (b *outBatch) add(wire storage.Tuple) int {
 			// Duplicate tuple / contributor: drop.
 		case storage.AggMin:
 			if storage.Compare(wire[b.groupLen], t[b.groupLen], b.valType) < 0 {
-				b.tuples[idx] = wire
+				copy(t, wire)
 			}
 		case storage.AggMax:
 			if storage.Compare(wire[b.groupLen], t[b.groupLen], b.valType) > 0 {
-				b.tuples[idx] = wire
+				copy(t, wire)
 			}
 		case storage.AggSum:
 			// Same contributor: the later contribution replaces.
-			b.tuples[idx] = wire
+			copy(t, wire)
 		}
-		return len(b.tuples)
+		return b.count
 	}
-	b.dedup[h] = append(b.dedup[h], int32(len(b.tuples)))
-	b.tuples = append(b.tuples, wire)
-	return len(b.tuples)
+	b.slots[slot] = dedupSlot{gen: b.gen, idx: int32(b.count)}
+	b.push(h, wire)
+	if uint64(b.count)*4 > uint64(len(b.slots))*3 {
+		b.growSlots()
+	}
+	return b.count
+}
+
+// growSlots doubles the dedup table, re-stamping every buffered row
+// from its cached wire hash.
+func (b *outBatch) growSlots() {
+	b.slots = make([]dedupSlot, 2*len(b.slots))
+	b.mask = uint64(len(b.slots) - 1)
+	b.gen = 1
+	for i := 0; i < b.count; i++ {
+		slot := b.dedupHash(b.hashes[i], b.row(i)) & b.mask
+		for b.slots[slot].gen == b.gen {
+			slot = (slot + 1) & b.mask
+		}
+		b.slots[slot] = dedupSlot{gen: b.gen, idx: int32(i)}
+	}
+}
+
+// reset clears the batch for reuse, retaining every buffer. The dedup
+// table is cleared by bumping the generation stamp.
+func (b *outBatch) reset() {
+	b.count = 0
+	b.hashes = b.hashes[:0]
+	b.words = b.words[:0]
+	if !b.partial {
+		return
+	}
+	b.gen++
+	if b.gen == 0 { // generation wrapped: scrub stale stamps once
+		for i := range b.slots {
+			b.slots[i] = dedupSlot{}
+		}
+		b.gen = 1
+	}
 }
 
 func sameKey(a, b storage.Tuple, agg storage.AggKind, keyCols []int) bool {
@@ -113,33 +204,28 @@ func sameKey(a, b storage.Tuple, agg storage.AggKind, keyCols []int) bool {
 	return true
 }
 
-// take removes and returns the buffered tuples.
-func (b *outBatch) take() []storage.Tuple {
-	t := b.tuples
-	b.tuples = nil
-	if b.partial {
-		b.dedup = make(map[uint64][]int32, len(t))
-	}
-	return t
-}
-
-// flushBatch packages tuples into BatchSize-bounded messages and pushes
-// them into the destination's inbox ring. If a ring is full the worker
-// drains its own inbox while waiting, which breaks producer/consumer
-// cycles when every worker's ring is saturated. It runs only at
-// iteration boundaries, where gathering into the replicas is safe.
-func (w *worker) flushBatch(dest, predIdx, pathIdx int, tuples []storage.Tuple) {
+// flushBatch packages a batch's rows into BatchSize-bounded pooled
+// frames and pushes them into the destination's inbox ring, then resets
+// the batch. If a ring is full the worker drains its own inbox while
+// waiting, which breaks producer/consumer cycles when every worker's
+// ring is saturated. It runs only at iteration boundaries, where
+// gathering into the replicas is safe.
+func (w *worker) flushBatch(dest, predIdx, pathIdx int, b *outBatch) {
 	q := w.run.queues[dest][w.id]
-	for len(tuples) > 0 {
+	for start := 0; start < b.count; {
 		n := w.run.opts.BatchSize
-		if n > len(tuples) {
-			n = len(tuples)
+		if n > b.count-start {
+			n = b.count - start
 		}
-		chunk := tuples[:n]
-		tuples = tuples[n:]
-		w.run.det.Produce(len(chunk))
-		m := message{pred: predIdx, path: pathIdx, sentAt: time.Now().UnixNano(), tuples: chunk}
-		for !q.TryPush(m) {
+		f := w.run.getFrame(b.width, n)
+		f.pred = int32(predIdx)
+		f.path = int32(pathIdx)
+		f.sentAt = time.Now().UnixNano()
+		copy(f.hashes, b.hashes[start:start+n])
+		copy(f.words, b.words[start*b.width:(start+n)*b.width])
+		start += n
+		w.run.det.Produce(n)
+		for !q.TryPush(f) {
 			// Draining our own inbox here is what prevents the cycle
 			// "every ring full, every producer blocked". Under the
 			// Global strategy it admits next-round tuples slightly
@@ -149,6 +235,7 @@ func (w *worker) flushBatch(dest, predIdx, pathIdx int, tuples []storage.Tuple) 
 			runtime.Gosched()
 		}
 	}
+	b.reset()
 }
 
 // flushAll sends every buffered batch (end of a local iteration).
@@ -159,8 +246,8 @@ func (w *worker) flushAll() {
 		}
 		for predIdx, paths := range preds {
 			for pathIdx, b := range paths {
-				if len(b.tuples) > 0 {
-					w.flushBatch(dest, predIdx, pathIdx, b.take())
+				if b.count > 0 {
+					w.flushBatch(dest, predIdx, pathIdx, b)
 				}
 			}
 		}

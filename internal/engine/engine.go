@@ -18,12 +18,27 @@ import (
 	"repro/internal/storage"
 )
 
-// message is one batch of wire-format tuples exchanged between workers.
-type message struct {
-	pred   int
-	path   int
+// frame is one fixed-size batch of wire-format tuples exchanged between
+// workers. Tuple words are stored flat (row i occupies
+// words[i*width:(i+1)*width]) with the wire hash of every row alongside
+// — the full-tuple hash for set semantics, the group-key hash for
+// aggregates — so the receiver merges without re-hashing. Frames are
+// pooled: a consumer returns each drained frame to the run's free list,
+// making the steady-state exchange path allocation-free.
+type frame struct {
+	pred   int32
+	path   int32
+	count  int32
+	width  int32
 	sentAt int64
-	tuples []storage.Tuple
+	hashes []uint64
+	words  []storage.Value
+}
+
+// row returns the i-th wire tuple as a view into the frame.
+func (f *frame) row(i int) storage.Tuple {
+	off := i * int(f.width)
+	return storage.Tuple(f.words[off : off+int(f.width) : off+int(f.width)])
 }
 
 // Run evaluates a compiled program against the given EDB relations.
@@ -72,10 +87,16 @@ type stratumRun struct {
 	n     int
 
 	// queues[consumer][producer] is the SPSC ring M_consumer^producer.
-	queues [][]*spsc.Queue[message]
+	queues [][]*spsc.Queue[*frame]
 	det    *coord.Detector
 	bar    *coord.Barrier
 	clock  *coord.Clock
+
+	// widths[pred] is the wire-tuple width of the predicate (full arity
+	// for sets; group+value / group+contributor layouts for aggregates).
+	widths []int
+	// framePool recycles exchange frames across all workers.
+	framePool sync.Pool
 
 	// variants[pred][path] lists the delta variants driven by that
 	// replica's deltas.
@@ -89,6 +110,45 @@ type stratumRun struct {
 	stats   StratumStats
 	errMu   sync.Mutex
 	err     error
+}
+
+// wireWidth returns the fixed wire-tuple width of a predicate.
+func wireWidth(p *physical.Pred) int {
+	pp := p.Plan
+	switch pp.Agg {
+	case storage.AggNone:
+		return pp.Schema.Arity()
+	case storage.AggMin, storage.AggMax, storage.AggCount:
+		return pp.GroupLen + 1
+	default: // AggSum: group + value + contributor
+		return pp.GroupLen + 2
+	}
+}
+
+// getFrame returns a pooled frame sized for n rows of the given width.
+func (run *stratumRun) getFrame(width, n int) *frame {
+	f, _ := run.framePool.Get().(*frame)
+	if f == nil {
+		f = &frame{}
+	}
+	if cap(f.hashes) < n {
+		f.hashes = make([]uint64, n)
+	}
+	if cap(f.words) < n*width {
+		f.words = make([]storage.Value, n*width)
+	}
+	f.hashes = f.hashes[:n]
+	f.words = f.words[:n*width]
+	f.width = int32(width)
+	f.count = int32(n)
+	return f
+}
+
+// putFrame returns a drained frame to the pool. The caller must not
+// touch the frame (or views into it) afterwards.
+func (run *stratumRun) putFrame(f *frame) {
+	f.count = 0
+	run.framePool.Put(f)
 }
 
 func (run *stratumRun) fail(err error) {
@@ -114,14 +174,18 @@ func runStratum(prog *physical.Program, st *physical.Stratum, store *relStore, o
 	}
 	begin := time.Now()
 
-	run.queues = make([][]*spsc.Queue[message], n)
+	run.queues = make([][]*spsc.Queue[*frame], n)
 	for i := range run.queues {
-		run.queues[i] = make([]*spsc.Queue[message], n)
+		run.queues[i] = make([]*spsc.Queue[*frame], n)
 		for j := range run.queues[i] {
 			if i != j {
-				run.queues[i][j] = spsc.New[message](opts.QueueCap)
+				run.queues[i][j] = spsc.New[*frame](opts.QueueCap)
 			}
 		}
+	}
+	run.widths = make([]int, len(st.Preds))
+	for i, p := range st.Preds {
+		run.widths[i] = wireWidth(p)
 	}
 
 	run.variants = make([][][]*physical.Rule, len(st.Preds))

@@ -218,22 +218,18 @@ func convertVal(v storage.Value, from, to storage.Type) storage.Value {
 
 // emit materializes a head derivation in wire format and routes it to
 // every replica of the head predicate (the Distribute operator's
-// routing step).
+// routing step). The wire tuple is assembled in the worker's per-pred
+// scratch buffer — every downstream consumer (out-batches, self-pending
+// arena, set relations, caches) copies what it keeps — and its wire
+// hash is computed exactly once here: the full-tuple hash for set
+// semantics, the group-prefix hash for aggregates. Gather, the
+// existence cache, delta coalescing and set dedup all reuse it.
 func (w *worker) emit(r *physical.Rule, slots []storage.Value) {
 	h := &r.Head
 	pred := w.run.st.Preds[h.PredIdx]
 	groupLen := pred.Plan.GroupLen
 
-	var wireLen int
-	switch h.Agg {
-	case storage.AggNone:
-		wireLen = len(h.Cols)
-	case storage.AggMin, storage.AggMax, storage.AggCount:
-		wireLen = groupLen + 1
-	case storage.AggSum:
-		wireLen = groupLen + 2
-	}
-	wire := make(storage.Tuple, wireLen)
+	wire := w.wireBufs[h.PredIdx]
 	for i, src := range h.Cols {
 		wire[i] = convertVal(src.Get(slots), src.Type, h.Types[i])
 	}
@@ -247,15 +243,22 @@ func (w *worker) emit(r *physical.Rule, slots []storage.Value) {
 		wire[groupLen+1] = h.Contrib.Get(slots)
 	}
 
+	var wh uint64
+	if h.Agg == storage.AggNone {
+		wh = storage.HashValues(wire)
+	} else {
+		wh = storage.HashValues(wire[:groupLen])
+	}
+
 	if pred.Plan.Broadcast {
 		for dest := 0; dest < w.run.n; dest++ {
-			w.send(dest, h.PredIdx, 0, wire)
+			w.send(dest, h.PredIdx, 0, wh, wire)
 		}
 		return
 	}
 	for pathIdx, path := range pred.Plan.Paths {
 		dest := int(storage.Mix(wire.HashOn(path)) % uint64(w.run.n))
-		w.send(dest, h.PredIdx, pathIdx, wire)
+		w.send(dest, h.PredIdx, pathIdx, wh, wire)
 	}
 }
 
@@ -263,12 +266,17 @@ func (w *worker) emit(r *physical.Rule, slots []storage.Value) {
 // merged or pushed while a local iteration is still evaluating: the
 // replica B+-trees must not mutate under an active probe, and
 // Algorithm 2 merges R ← R ∪ δ only after the iteration. Self-bound
-// tuples go to a local pending list, remote ones to the per-destination
-// batches; both drain in flushAll.
-func (w *worker) send(dest, predIdx, pathIdx int, wire storage.Tuple) {
+// tuples are copied into the worker's flat self-pending arena, remote
+// ones into the per-destination batches; both drain in flushAll /
+// drainSelf, and both copy, so wire may be reused by the next emit.
+func (w *worker) send(dest, predIdx, pathIdx int, h uint64, wire storage.Tuple) {
 	if dest == w.id {
-		w.selfPending = append(w.selfPending, selfMsg{predIdx, pathIdx, wire})
+		off := int32(len(w.selfWords))
+		w.selfWords = append(w.selfWords, wire...)
+		w.selfRefs = append(w.selfRefs, selfRef{
+			pred: int32(predIdx), path: int32(pathIdx), off: off, hash: h,
+		})
 		return
 	}
-	w.outBufs[dest][predIdx][pathIdx].add(wire)
+	w.outBufs[dest][predIdx][pathIdx].add(h, wire)
 }

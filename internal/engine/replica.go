@@ -16,6 +16,12 @@ import (
 // current aggregate, and for count/sum a second tree keyed by
 // (group, contributor) holding each contributor's latest contribution.
 // Every replica is read and written by exactly one worker goroutine.
+//
+// All merge entry points take the tuple's wire hash (computed once by
+// the sender's Distribute step): the full-tuple hash for set semantics,
+// the hash of the wire-order group prefix for aggregates. The set
+// relation, the existence cache and the delta coalescing index all
+// reuse it instead of re-hashing.
 type replica struct {
 	pred     *physical.Pred
 	pathIdx  int
@@ -39,17 +45,18 @@ type replica struct {
 	// consumes this path. For aggregates the queue is coalesced per
 	// group — only the latest aggregate matters, and without
 	// coalescing, update counts amplify exponentially through cycles.
-	consume      bool
-	delta        []storage.Tuple
-	deltaIdx     map[uint64][]int32
-	groupColsBuf []int
+	// Set deltas are stable arena views and cost nothing to queue.
+	consume  bool
+	delta    []storage.Tuple
+	deltaIdx map[uint64][]int32
 
 	// Options.
 	useCache  bool
 	scanMerge bool // ablation: per-batch linear-scan merge (§7.3 w/o)
 	eps       float64
 
-	keyBuf storage.Tuple // scratch permuted key
+	keyBuf  storage.Tuple // scratch permuted group key
+	ckeyBuf storage.Tuple // scratch permuted (group, contributor) key
 }
 
 func newReplica(pred *physical.Pred, pathIdx int, opts *Options) *replica {
@@ -79,9 +86,10 @@ func newReplica(pred *physical.Pred, pathIdx int, opts *Options) *replica {
 	if pp.Agg == storage.AggCount || pp.Agg == storage.AggSum {
 		ctypes := append(append([]storage.Type(nil), keyTypes...), storage.TInt)
 		r.contribTree = btree.New(ctypes)
+		r.ckeyBuf = make(storage.Tuple, len(r.keyOrder)+1)
 	}
 	if r.useCache {
-		r.cache = newExistCache(12)
+		r.cache = newExistCache(12, r.groupLen)
 	}
 	r.scanMerge = opts.NoIndexAgg && (pp.Agg == storage.AggMin || pp.Agg == storage.AggMax)
 	r.keyBuf = make(storage.Tuple, len(r.keyOrder))
@@ -97,6 +105,16 @@ func (r *replica) permKey(wire storage.Tuple) storage.Tuple {
 	return r.keyBuf
 }
 
+// permCKey fills the contributor-key scratch buffer with the permuted
+// group columns followed by the contributor value.
+func (r *replica) permCKey(wire storage.Tuple, contributor storage.Value) storage.Tuple {
+	for i, c := range r.keyOrder {
+		r.ckeyBuf[i] = wire[c]
+	}
+	r.ckeyBuf[len(r.keyOrder)] = contributor
+	return r.ckeyBuf
+}
+
 // better reports whether a beats b under the replica's extremum.
 func (r *replica) better(a, b storage.Value) bool {
 	if r.agg == storage.AggMin {
@@ -107,12 +125,12 @@ func (r *replica) better(a, b storage.Value) bool {
 
 // queueDelta records a post-merge (group + aggregate) tuple for the
 // next local iteration, coalescing repeated updates of one group into
-// a single pending row holding the latest aggregate.
-func (r *replica) queueDelta(wire storage.Tuple, val storage.Value) {
+// a single pending row holding the latest aggregate. h is the wire
+// group-key hash.
+func (r *replica) queueDelta(h uint64, wire storage.Tuple, val storage.Value) {
 	if !r.consume {
 		return
 	}
-	h := wire.HashOn(r.groupCols())
 	if r.deltaIdx == nil {
 		r.deltaIdx = make(map[uint64][]int32)
 	}
@@ -137,17 +155,6 @@ func (r *replica) queueDelta(wire storage.Tuple, val storage.Value) {
 	r.delta = append(r.delta, row)
 }
 
-// groupCols returns [0, groupLen).
-func (r *replica) groupCols() []int {
-	if r.groupColsBuf == nil {
-		r.groupColsBuf = make([]int, r.groupLen)
-		for i := range r.groupColsBuf {
-			r.groupColsBuf[i] = i
-		}
-	}
-	return r.groupColsBuf
-}
-
 // takeDelta removes and returns the pending delta rows.
 func (r *replica) takeDelta() []storage.Tuple {
 	d := r.delta
@@ -158,49 +165,50 @@ func (r *replica) takeDelta() []storage.Tuple {
 
 // mergeWire folds one wire-format tuple into the replica (the Gather
 // operator's per-tuple work) and reports whether the replica changed.
+// Everything the replica retains is copied out of wire, so the caller's
+// buffer (a pooled frame or the self-pending arena) may be reused.
 // Wire layouts: set → full tuple; min/max → group + value; count →
 // group + contributor; sum → group + value + contributor.
-func (r *replica) mergeWire(wire storage.Tuple) bool {
+func (r *replica) mergeWire(h uint64, wire storage.Tuple) bool {
 	switch r.agg {
 	case storage.AggNone:
-		if !r.set.Insert(wire) {
+		view, added := r.set.InsertHashed(h, wire)
+		if !added {
 			return false
 		}
 		for _, ix := range r.incIdx {
-			ix.add(wire)
+			ix.add(view)
 		}
 		if r.consume {
-			r.delta = append(r.delta, wire)
+			r.delta = append(r.delta, view)
 		}
 		return true
 
 	case storage.AggMin, storage.AggMax:
 		val := wire[r.groupLen]
-		key := r.permKey(wire)
-		h := storage.HashValues(key)
+		group := wire[:r.groupLen]
 		if r.useCache {
-			if cur, ok := r.cache.get(h, key); ok && !r.better(val, cur) {
+			if cur, ok := r.cache.get(h, group); ok && !r.better(val, cur) {
 				return false // cache hit: no improvement, skip the tree
 			}
 		}
-		res, changed := r.aggTree.Update(key, func(cur storage.Value, exists bool) storage.Value {
+		res, changed := r.aggTree.Update(r.permKey(wire), func(cur storage.Value, exists bool) storage.Value {
 			if exists && !r.better(val, cur) {
 				return cur
 			}
 			return val
 		})
 		if r.useCache {
-			r.cache.put(h, key, res)
+			r.cache.put(h, group, res)
 		}
 		if changed {
-			r.queueDelta(wire, res)
+			r.queueDelta(h, wire, res)
 		}
 		return changed
 
 	case storage.AggCount:
 		contributor := wire[r.groupLen]
-		ckey := append(r.permKey(wire).Clone(), contributor)
-		if _, existed := r.contribTree.Insert(ckey, 1); existed {
+		if _, existed := r.contribTree.InsertFresh(r.permCKey(wire, contributor), 1); existed {
 			return false
 		}
 		res, _ := r.aggTree.Update(r.permKey(wire), func(cur storage.Value, exists bool) storage.Value {
@@ -209,14 +217,13 @@ func (r *replica) mergeWire(wire storage.Tuple) bool {
 			}
 			return storage.IntVal(cur.Int() + 1)
 		})
-		r.queueDelta(wire, res)
+		r.queueDelta(h, wire, res)
 		return true
 
 	case storage.AggSum:
 		val := wire[r.groupLen]
 		contributor := wire[r.groupLen+1]
-		ckey := append(r.permKey(wire).Clone(), contributor)
-		prev, existed := r.contribTree.Insert(ckey, val)
+		prev, existed := r.contribTree.InsertFresh(r.permCKey(wire, contributor), val)
 		if existed && prev == val {
 			return false
 		}
@@ -248,40 +255,44 @@ func (r *replica) mergeWire(wire storage.Tuple) bool {
 			return storage.IntVal(sum)
 		})
 		if emit {
-			r.queueDelta(wire, res)
+			r.queueDelta(h, wire, res)
 		}
 		return emit
 	}
 	return false
 }
 
-// mergeBatch folds a drained message. The ablation "w/o optimization"
-// path replaces per-tuple index merges of extremum aggregates with the
-// paper's unoptimized alternative: one linear scan over the
-// deduplicated recursive table per batch (§6.2.1, Figure 7).
-func (r *replica) mergeBatch(tuples []storage.Tuple) int {
+// mergeFrame folds a drained exchange frame and returns the number of
+// state changes. The frame may be recycled as soon as this returns. The
+// ablation "w/o optimization" path replaces per-tuple index merges of
+// extremum aggregates with the paper's unoptimized alternative: one
+// linear scan over the deduplicated recursive table per batch (§6.2.1,
+// Figure 7).
+func (r *replica) mergeFrame(f *frame) int {
 	if r.scanMerge {
-		return r.mergeBatchScan(tuples)
+		return r.mergeFrameScan(f)
 	}
 	changed := 0
-	for _, t := range tuples {
-		if r.mergeWire(t) {
+	for i := 0; i < int(f.count); i++ {
+		if r.mergeWire(f.hashes[i], f.row(i)) {
 			changed++
 		}
 	}
 	return changed
 }
 
-// mergeBatchScan merges a min/max batch without index assistance.
-func (r *replica) mergeBatchScan(tuples []storage.Tuple) int {
+// mergeFrameScan merges a min/max frame without index assistance.
+func (r *replica) mergeFrameScan(f *frame) int {
 	type pend struct {
 		wire  storage.Tuple
+		wireH uint64 // wire group-key hash, for delta coalescing
 		key   storage.Tuple
 		val   storage.Value
 		found bool
 	}
-	pending := make(map[uint64][]*pend, len(tuples))
-	for _, t := range tuples {
+	pending := make(map[uint64][]*pend, f.count)
+	for i := 0; i < int(f.count); i++ {
+		t := f.row(i)
 		key := r.permKey(t).Clone()
 		h := storage.HashValues(key)
 		merged := false
@@ -290,27 +301,25 @@ func (r *replica) mergeBatchScan(tuples []storage.Tuple) int {
 				if r.better(t[r.groupLen], p.val) {
 					p.val = t[r.groupLen]
 					p.wire = t
+					p.wireH = f.hashes[i]
 				}
 				merged = true
 				break
 			}
 		}
 		if !merged {
-			pending[h] = append(pending[h], &pend{wire: t, key: key, val: t[r.groupLen]})
+			pending[h] = append(pending[h], &pend{wire: t, wireH: f.hashes[i], key: key, val: t[r.groupLen]})
 		}
 	}
 	// One full pass over the recursive table to resolve existing groups.
-	type update struct {
-		p *pend
-	}
-	var updates []update
+	var updates []*pend
 	r.aggTree.Ascend(func(key storage.Tuple, cur storage.Value) bool {
 		h := storage.HashValues(key)
 		for _, p := range pending[h] {
 			if !p.found && p.key.Equal(key) {
 				p.found = true
 				if r.better(p.val, cur) {
-					updates = append(updates, update{p})
+					updates = append(updates, p)
 				}
 				break
 			}
@@ -327,11 +336,11 @@ func (r *replica) mergeBatchScan(tuples []storage.Tuple) int {
 		})
 		if ch {
 			changed++
-			r.queueDelta(p.wire, res)
+			r.queueDelta(p.wireH, p.wire, res)
 		}
 	}
-	for _, u := range updates {
-		apply(u.p)
+	for _, p := range updates {
+		apply(p)
 	}
 	for _, ps := range pending {
 		for _, p := range ps {

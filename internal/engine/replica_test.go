@@ -16,8 +16,33 @@ func it(vs ...int64) storage.Tuple {
 	return t
 }
 
+// wireHash computes the wire hash the engine's Distribute step would
+// ship with t: full-tuple hash for sets, group-prefix hash otherwise.
+func wireHash(rep *replica, t storage.Tuple) uint64 {
+	if rep.agg == storage.AggNone {
+		return t.Hash()
+	}
+	return storage.HashValues(t[:rep.groupLen])
+}
+
+// merge is a test shim for mergeWire that derives the wire hash.
+func merge(rep *replica, t storage.Tuple) bool {
+	return rep.mergeWire(wireHash(rep, t), t)
+}
+
+// frameOf packages tuples as an exchange frame bound for rep.
+func frameOf(rep *replica, tuples []storage.Tuple) *frame {
+	width := len(tuples[0])
+	f := &frame{width: int32(width), count: int32(len(tuples))}
+	for _, tu := range tuples {
+		f.hashes = append(f.hashes, wireHash(rep, tu))
+		f.words = append(f.words, tu...)
+	}
+	return f
+}
+
 func TestExistCache(t *testing.T) {
-	c := newExistCache(4)
+	c := newExistCache(4, 2)
 	k1 := it(1, 2)
 	h1 := storage.HashValues(k1)
 	if _, ok := c.get(h1, k1); ok {
@@ -89,13 +114,13 @@ func minPred(t *testing.T) *physical.Pred {
 func TestReplicaMinMerge(t *testing.T) {
 	rep := newReplica(minPred(t), 0, &Options{Epsilon: 1e-9})
 	rep.consume = true
-	if !rep.mergeWire(it(1, 10)) {
+	if !merge(rep, it(1, 10)) {
 		t.Fatal("first merge should change")
 	}
-	if rep.mergeWire(it(1, 12)) {
+	if merge(rep, it(1, 12)) {
 		t.Fatal("worse value should not change")
 	}
-	if !rep.mergeWire(it(1, 5)) {
+	if !merge(rep, it(1, 5)) {
 		t.Fatal("better value should change")
 	}
 	if rep.size() != 1 {
@@ -115,11 +140,11 @@ func TestReplicaMinMerge(t *testing.T) {
 func TestReplicaMinMergeWithoutCache(t *testing.T) {
 	rep := newReplica(minPred(t), 0, &Options{NoExistCache: true, Epsilon: 1e-9})
 	rep.consume = true
-	rep.mergeWire(it(1, 10))
-	if rep.mergeWire(it(1, 10)) {
+	merge(rep, it(1, 10))
+	if merge(rep, it(1, 10)) {
 		t.Fatal("equal value should not change")
 	}
-	if !rep.mergeWire(it(1, 3)) {
+	if !merge(rep, it(1, 3)) {
 		t.Fatal("better value should change")
 	}
 }
@@ -134,8 +159,8 @@ func TestReplicaScanMergeMatchesIndexed(t *testing.T) {
 		{it(1, 2), it(4, 4)},
 	}
 	for _, b := range batches {
-		fast.mergeBatch(b)
-		slow.mergeBatch(b)
+		fast.mergeFrame(frameOf(fast, b))
+		slow.mergeFrame(frameOf(slow, b))
 	}
 	f, s := fast.materialize(), slow.materialize()
 	if len(f) != len(s) {
@@ -175,10 +200,10 @@ func setPred(t *testing.T) *physical.Pred {
 func TestReplicaSetMergeAndIndex(t *testing.T) {
 	rep := newReplica(setPred(t), 0, &Options{})
 	rep.consume = true
-	if !rep.mergeWire(it(1, 2)) || rep.mergeWire(it(1, 2)) {
+	if !merge(rep, it(1, 2)) || merge(rep, it(1, 2)) {
 		t.Fatal("set dedup broken")
 	}
-	rep.mergeWire(it(1, 3))
+	merge(rep, it(1, 3))
 	var matches int
 	rep.incIdx[0].lookup([]storage.Value{storage.IntVal(1)}, func(storage.Tuple) bool {
 		matches++
@@ -192,48 +217,86 @@ func TestReplicaSetMergeAndIndex(t *testing.T) {
 	}
 }
 
+// batchAdd is a test shim for outBatch.add that derives the wire hash
+// (full tuple for sets, group prefix otherwise).
+func batchAdd(b *outBatch, tu storage.Tuple) int {
+	if b.agg == storage.AggNone {
+		return b.add(tu.Hash(), tu)
+	}
+	return b.add(storage.HashValues(tu[:b.groupLen]), tu)
+}
+
 func TestOutBatchPartialAggregation(t *testing.T) {
 	// Min batch keeps the best value per group.
 	b := newOutBatch(minPred(t), true)
-	b.add(it(1, 9))
-	b.add(it(1, 4))
-	b.add(it(1, 7))
-	b.add(it(2, 3))
-	if len(b.tuples) != 2 {
-		t.Fatalf("batch size = %d, want 2", len(b.tuples))
+	batchAdd(b, it(1, 9))
+	batchAdd(b, it(1, 4))
+	batchAdd(b, it(1, 7))
+	batchAdd(b, it(2, 3))
+	if b.count != 2 {
+		t.Fatalf("batch size = %d, want 2", b.count)
 	}
-	var got map[int64]int64 = map[int64]int64{}
-	for _, tu := range b.take() {
+	got := map[int64]int64{}
+	for i := 0; i < b.count; i++ {
+		tu := b.row(i)
 		got[tu[0].Int()] = tu[1].Int()
 	}
 	if got[1] != 4 || got[2] != 3 {
 		t.Fatalf("partial agg = %v", got)
 	}
-	// take() resets.
-	if len(b.tuples) != 0 {
-		t.Fatal("take did not clear")
+	// reset() clears without reallocating.
+	b.reset()
+	if b.count != 0 {
+		t.Fatal("reset did not clear")
 	}
-	b.add(it(1, 8))
-	if n := len(b.take()); n != 1 {
-		t.Fatalf("after reset: %d", n)
+	batchAdd(b, it(1, 8))
+	if b.count != 1 {
+		t.Fatalf("after reset: %d", b.count)
+	}
+	if tu := b.row(0); tu[0].Int() != 1 || tu[1].Int() != 8 {
+		t.Fatalf("after reset row = %v", b.row(0))
 	}
 }
 
 func TestOutBatchSetDedup(t *testing.T) {
 	b := newOutBatch(setPred(t), true)
-	b.add(it(1, 2))
-	b.add(it(1, 2))
-	b.add(it(2, 1))
-	if len(b.tuples) != 2 {
-		t.Fatalf("dedup failed: %d", len(b.tuples))
+	batchAdd(b, it(1, 2))
+	batchAdd(b, it(1, 2))
+	batchAdd(b, it(2, 1))
+	if b.count != 2 {
+		t.Fatalf("dedup failed: %d", b.count)
 	}
 }
 
 func TestOutBatchWithoutPartialAgg(t *testing.T) {
 	b := newOutBatch(minPred(t), false)
-	b.add(it(1, 9))
-	b.add(it(1, 4))
-	if len(b.tuples) != 2 {
+	batchAdd(b, it(1, 9))
+	batchAdd(b, it(1, 4))
+	if b.count != 2 {
 		t.Fatal("non-partial batch must keep everything")
+	}
+}
+
+// TestOutBatchDedupGrowth exercises slot-table growth and generation
+// reuse: far more distinct tuples than the initial dedup table, twice.
+func TestOutBatchDedupGrowth(t *testing.T) {
+	b := newOutBatch(setPred(t), true)
+	for round := 0; round < 2; round++ {
+		for i := int64(0); i < 500; i++ {
+			batchAdd(b, it(i, i+1))
+			batchAdd(b, it(i, i+1)) // duplicate must not count
+		}
+		if b.count != 500 {
+			t.Fatalf("round %d: count = %d, want 500", round, b.count)
+		}
+		seen := map[[2]int64]bool{}
+		for i := 0; i < b.count; i++ {
+			tu := b.row(i)
+			seen[[2]int64{tu[0].Int(), tu[1].Int()}] = true
+		}
+		if len(seen) != 500 {
+			t.Fatalf("round %d: %d distinct rows", round, len(seen))
+		}
+		b.reset()
 	}
 }

@@ -29,11 +29,18 @@ type worker struct {
 
 	scratch map[*physical.Rule][]storage.Value
 
-	// selfPending buffers this worker's own derivations until the end
-	// of the local iteration (Algorithm 2 line 16: R ← R ∪ δ happens
-	// after evaluation, and the replica trees must not mutate under an
-	// active probe).
-	selfPending []selfMsg
+	// wireBufs[pred] is the reusable wire-tuple scratch emit writes
+	// derivations into before they are hashed and routed.
+	wireBufs []storage.Tuple
+
+	// Self-bound derivations are buffered flat until the end of the
+	// local iteration (Algorithm 2 line 16: R ← R ∪ δ happens after
+	// evaluation, and the replica trees must not mutate under an active
+	// probe). selfWords holds the tuple words back to back; selfRefs
+	// records routing plus each tuple's precomputed wire hash. Both
+	// buffers are reset, not reallocated, every iteration.
+	selfWords []storage.Value
+	selfRefs  []selfRef
 
 	localIters    int64
 	waitTime      time.Duration
@@ -41,25 +48,34 @@ type worker struct {
 	droppedDeltas bool
 }
 
-// selfMsg is one buffered self-bound derivation.
-type selfMsg struct {
-	pred, path int
-	wire       storage.Tuple
+// selfRef is one buffered self-bound derivation: an offset into the
+// worker's selfWords arena plus the tuple's wire hash.
+type selfRef struct {
+	pred, path int32
+	off        int32
+	hash       uint64
 }
 
-// drainSelf merges the buffered self-bound derivations.
+// drainSelf merges the buffered self-bound derivations and resets the
+// flat buffers for reuse (mergeWire copies everything it retains).
 func (w *worker) drainSelf() {
-	pending := w.selfPending
-	w.selfPending = nil
-	for _, m := range pending {
-		if w.replicas[m.pred][m.path].mergeWire(m.wire) {
+	for _, m := range w.selfRefs {
+		width := w.run.widths[m.pred]
+		wire := storage.Tuple(w.selfWords[m.off : int(m.off)+width])
+		if w.replicas[m.pred][m.path].mergeWire(m.hash, wire) {
 			w.merged++
 		}
 	}
+	w.selfRefs = w.selfRefs[:0]
+	w.selfWords = w.selfWords[:0]
 }
 
 func newWorker(run *stratumRun, id int) *worker {
 	w := &worker{id: id, run: run, scratch: make(map[*physical.Rule][]storage.Value)}
+	w.wireBufs = make([]storage.Tuple, len(run.st.Preds))
+	for pi := range run.st.Preds {
+		w.wireBufs[pi] = make(storage.Tuple, run.widths[pi])
+	}
 	w.replicas = make([][]*replica, len(run.st.Preds))
 	for pi, p := range run.st.Preds {
 		w.replicas[pi] = make([]*replica, len(p.Plan.Paths))
@@ -104,19 +120,22 @@ func (w *worker) pendingDelta() int {
 }
 
 // gather drains every inbox ring and merges the tuples (the Gather
-// operator); it returns the number of tuples consumed.
+// operator); it returns the number of tuples consumed. Frames are
+// recycled into the run's pool once merged.
 func (w *worker) gather() int {
 	total := 0
 	for j, q := range w.run.queues[w.id] {
 		if q == nil {
 			continue
 		}
-		q.Drain(func(m message) {
-			w.arrivals[j].Record(len(m.tuples), m.sentAt)
-			rep := w.replicas[m.pred][m.path]
-			w.merged += int64(rep.mergeBatch(m.tuples))
-			w.run.det.Consume(len(m.tuples))
-			total += len(m.tuples)
+		q.Drain(func(f *frame) {
+			n := int(f.count)
+			w.arrivals[j].Record(n, f.sentAt)
+			rep := w.replicas[f.pred][f.path]
+			w.merged += int64(rep.mergeFrame(f))
+			w.run.det.Consume(n)
+			total += n
+			w.run.putFrame(f)
 		})
 	}
 	return total

@@ -68,8 +68,45 @@ func (q *Queue[T]) Push(v T) {
 	}
 }
 
+// TryPushN appends up to len(vs) elements and returns how many were
+// accepted (0 when the ring is full). The whole batch is published with
+// a single tail store, so the atomic (and the cache-line transfer it
+// causes on the consumer side) is amortized over the batch — paper
+// §6.1's "collect in one operation", applied to the producer.
+func (q *Queue[T]) TryPushN(vs []T) int {
+	tail := q.tail.Load()
+	free := uint64(len(q.buf)) - (tail - q.cachedHead)
+	if free < uint64(len(vs)) {
+		q.cachedHead = q.head.Load()
+		free = uint64(len(q.buf)) - (tail - q.cachedHead)
+	}
+	n := uint64(len(vs))
+	if n > free {
+		n = free
+	}
+	for i := uint64(0); i < n; i++ {
+		q.buf[(tail+i)&q.mask] = vs[i]
+	}
+	if n > 0 {
+		q.tail.Store(tail + n)
+	}
+	return int(n)
+}
+
+// PushN appends all of vs, yielding the processor whenever the ring
+// fills up.
+func (q *Queue[T]) PushN(vs []T) {
+	for len(vs) > 0 {
+		n := q.TryPushN(vs)
+		vs = vs[n:]
+		if len(vs) > 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
 // TryPop removes the oldest element, reporting false when the ring is
-// empty. Only one goroutine may call TryPop/Drain.
+// empty. Only one goroutine may call TryPop/PopN/Drain.
 func (q *Queue[T]) TryPop() (T, bool) {
 	var zero T
 	head := q.head.Load()
@@ -85,18 +122,52 @@ func (q *Queue[T]) TryPop() (T, bool) {
 	return v, true
 }
 
+// PopN removes up to len(dst) of the oldest elements into dst with a
+// single head publish, returning how many were popped (0 when empty).
+func (q *Queue[T]) PopN(dst []T) int {
+	var zero T
+	head := q.head.Load()
+	avail := q.cachedTail - head
+	if avail < uint64(len(dst)) {
+		q.cachedTail = q.tail.Load()
+		avail = q.cachedTail - head
+	}
+	n := uint64(len(dst))
+	if n > avail {
+		n = avail
+	}
+	for i := uint64(0); i < n; i++ {
+		slot := (head + i) & q.mask
+		dst[i] = q.buf[slot]
+		q.buf[slot] = zero // release for GC
+	}
+	if n > 0 {
+		q.head.Store(head + n)
+	}
+	return int(n)
+}
+
+// drainChunk bounds the elements moved per head publish in Drain.
+const drainChunk = 32
+
 // Drain pops every currently visible element into fn and returns the
 // number drained. This is the consumer's one-shot collection step from
-// §6.1 ("W_j can collect all contents from M_j in one operation").
+// §6.1 ("W_j can collect all contents from M_j in one operation");
+// elements are moved in chunks so head updates are amortized.
 func (q *Queue[T]) Drain(fn func(T)) int {
-	n := 0
+	var buf [drainChunk]T
+	var zero T
+	total := 0
 	for {
-		v, ok := q.TryPop()
-		if !ok {
-			return n
+		n := q.PopN(buf[:])
+		if n == 0 {
+			return total
 		}
-		fn(v)
-		n++
+		for i := 0; i < n; i++ {
+			fn(buf[i])
+			buf[i] = zero
+		}
+		total += n
 	}
 }
 

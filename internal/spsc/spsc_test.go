@@ -134,6 +134,132 @@ func TestConcurrentFIFO(t *testing.T) {
 	}
 }
 
+func TestTryPushNPopN(t *testing.T) {
+	q := New[int](8)
+	if n := q.TryPushN([]int{0, 1, 2, 3, 4}); n != 5 {
+		t.Fatalf("TryPushN = %d, want 5", n)
+	}
+	// Only 3 slots remain; a 5-element batch is truncated.
+	if n := q.TryPushN([]int{5, 6, 7, 8, 9}); n != 3 {
+		t.Fatalf("TryPushN into nearly full ring = %d, want 3", n)
+	}
+	if n := q.TryPushN([]int{99}); n != 0 {
+		t.Fatalf("TryPushN into full ring = %d, want 0", n)
+	}
+	dst := make([]int, 6)
+	if n := q.PopN(dst); n != 6 {
+		t.Fatalf("PopN = %d, want 6", n)
+	}
+	for i, v := range dst {
+		if v != i {
+			t.Fatalf("PopN order: %v", dst)
+		}
+	}
+	if n := q.PopN(dst); n != 2 || dst[0] != 6 || dst[1] != 7 {
+		t.Fatalf("second PopN = %d, %v", n, dst[:2])
+	}
+	if n := q.PopN(dst); n != 0 {
+		t.Fatalf("PopN from empty ring = %d, want 0", n)
+	}
+}
+
+func TestBatchWrapAround(t *testing.T) {
+	q := New[int](8)
+	dst := make([]int, 5)
+	next := 0
+	for round := 0; round < 200; round++ {
+		batch := []int{round * 5, round*5 + 1, round*5 + 2, round*5 + 3, round*5 + 4}
+		q.PushN(batch)
+		popped := 0
+		for popped < 5 {
+			n := q.PopN(dst[popped:])
+			for i := 0; i < n; i++ {
+				if dst[popped+i] != next {
+					t.Fatalf("round %d: got %d, want %d", round, dst[popped+i], next)
+				}
+				next++
+			}
+			popped += n
+		}
+	}
+}
+
+func TestBatchInteropWithSingleOps(t *testing.T) {
+	q := New[int](16)
+	q.TryPush(0)
+	q.TryPushN([]int{1, 2, 3})
+	q.TryPush(4)
+	var got []int
+	q.Drain(func(v int) { got = append(got, v) })
+	if len(got) != 5 {
+		t.Fatalf("drained %v", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("mixed-op order: %v", got)
+		}
+	}
+}
+
+// TestConcurrentBatchFIFO is the batched analogue of TestConcurrentFIFO:
+// a producer pushing variable-size batches against a consumer popping
+// variable-size batches, exercising the single-store publish under the
+// race detector.
+func TestConcurrentBatchFIFO(t *testing.T) {
+	const n = 50000
+	q := New[int](64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for i < n {
+			sz := 1 + i%7
+			if i+sz > n {
+				sz = n - i
+			}
+			batch := make([]int, sz)
+			for j := range batch {
+				batch[j] = i + j
+			}
+			q.PushN(batch)
+			i += sz
+		}
+	}()
+	dst := make([]int, 13)
+	next := 0
+	for next < n {
+		m := q.PopN(dst)
+		if m == 0 {
+			runtime.Gosched()
+			continue
+		}
+		for i := 0; i < m; i++ {
+			if dst[i] != next {
+				t.Fatalf("out of order: got %d, want %d", dst[i], next)
+			}
+			next++
+		}
+	}
+	wg.Wait()
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestPopNReleasesPointers(t *testing.T) {
+	q := New[*int](4)
+	v := 7
+	q.TryPushN([]*int{&v, &v})
+	dst := make([]*int, 2)
+	q.PopN(dst)
+	for i := range q.buf {
+		if q.buf[i] != nil {
+			t.Fatalf("slot %d still references a popped element", i)
+		}
+	}
+}
+
 func TestPointerValuesReleased(t *testing.T) {
 	q := New[*int](4)
 	v := 7
@@ -152,4 +278,66 @@ func BenchmarkPushPop(b *testing.B) {
 		q.TryPush(i)
 		q.TryPop()
 	}
+}
+
+// BenchmarkSPSCBatchThroughput measures cross-goroutine tuple-pointer
+// throughput with batched push/pop (the engine's frame exchange shape);
+// b.N counts elements transferred end to end.
+func BenchmarkSPSCBatchThroughput(b *testing.B) {
+	const batch = 32
+	q := New[int](1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]int, batch)
+		for i := range buf {
+			buf[i] = i
+		}
+		sent := 0
+		for sent < b.N {
+			n := batch
+			if b.N-sent < n {
+				n = b.N - sent
+			}
+			q.PushN(buf[:n])
+			sent += n
+		}
+	}()
+	dst := make([]int, batch)
+	got := 0
+	for got < b.N {
+		n := q.PopN(dst)
+		if n == 0 {
+			runtime.Gosched()
+			continue
+		}
+		got += n
+	}
+	<-done
+}
+
+// BenchmarkSPSCSingleThroughput is the unbatched baseline for
+// BenchmarkSPSCBatchThroughput: same transfer, one atomic per element.
+func BenchmarkSPSCSingleThroughput(b *testing.B) {
+	q := New[int](1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			q.Push(i)
+		}
+	}()
+	got := 0
+	for got < b.N {
+		if _, ok := q.TryPop(); !ok {
+			runtime.Gosched()
+			continue
+		}
+		got++
+	}
+	<-done
 }

@@ -1,0 +1,45 @@
+package storage
+
+// tupleArena hands out tuple-sized []Value blocks carved from
+// append-only chunks. Chunks are never reallocated or reused, so every
+// block returned by alloc stays valid (and immutable, by convention)
+// for the lifetime of the arena's owner — growth starts a fresh chunk
+// instead of moving old data. This is what makes SetRelation snapshots
+// and delta views stable across later inserts, and it collapses the
+// engine's per-tuple allocations into one bulk allocation per chunk.
+type tupleArena struct {
+	cur      []Value // active chunk; len = used, cap = chunk size
+	chunkCap int     // size of the most recently allocated chunk
+	words    int     // total words handed out (stats)
+}
+
+const (
+	arenaMinChunk = 1 << 9  // 512 words = 4 KiB
+	arenaMaxChunk = 1 << 16 // 64 K words = 512 KiB
+)
+
+// alloc returns a block of n values. The block is full-sliced
+// (len == cap) so appends by a confused caller cannot clobber
+// neighbouring tuples.
+func (a *tupleArena) alloc(n int) []Value {
+	if cap(a.cur)-len(a.cur) < n {
+		size := a.chunkCap * 2
+		if size < arenaMinChunk {
+			size = arenaMinChunk
+		}
+		if size > arenaMaxChunk {
+			size = arenaMaxChunk
+		}
+		for size < n {
+			size *= 2
+		}
+		// The retiring chunk stays alive through the views that point
+		// into it; the arena itself only tracks the active one.
+		a.chunkCap = size
+		a.cur = make([]Value, 0, size)
+	}
+	off := len(a.cur)
+	a.cur = a.cur[:off+n]
+	a.words += n
+	return a.cur[off : off+n : off+n]
+}

@@ -17,66 +17,144 @@ type Relation interface {
 	// ForEach visits every current tuple until fn returns false.
 	ForEach(fn func(Tuple) bool)
 	// Snapshot returns the current tuples. The result must not be
-	// mutated and is invalidated by subsequent inserts.
+	// mutated.
 	Snapshot() []Tuple
 }
 
 // SetRelation is a deduplicating tuple set with insertion-ordered
 // iteration. It backs recursive predicates with set semantics such as
 // tc and sg.
+//
+// Layout: tuple words live in an append-only chunked arena; views holds
+// one stable Tuple header per distinct tuple, in insertion order; the
+// full-tuple hash of every stored tuple is cached next to its slot; and
+// membership is resolved through an open-addressed, power-of-two,
+// insert-only hash table of view indexes (linear probing, no
+// tombstones). Inserts copy the incoming tuple into the arena, so
+// callers may reuse their buffers, and steady-state inserts perform no
+// per-tuple allocation.
 type SetRelation struct {
-	schema  *Schema
-	buckets map[uint64][]int32
-	tuples  []Tuple
+	schema *Schema
+	arena  tupleArena
+	views  []Tuple  // insertion order; each aliases arena memory
+	hashes []uint64 // cached full-tuple hash per view
+	table  []int32  // open-addressed slot -> view index, -1 = empty
+	mask   uint64
 }
+
+const setMinTable = 16
 
 // NewSetRelation returns an empty set relation over the schema.
 func NewSetRelation(schema *Schema) *SetRelation {
 	return &SetRelation{
-		schema:  schema,
-		buckets: make(map[uint64][]int32),
+		schema: schema,
+		table:  newSlotTable(setMinTable),
+		mask:   setMinTable - 1,
 	}
+}
+
+func newSlotTable(n int) []int32 {
+	t := make([]int32, n)
+	for i := range t {
+		t[i] = -1
+	}
+	return t
 }
 
 // Schema implements Relation.
 func (r *SetRelation) Schema() *Schema { return r.schema }
 
 // Len implements Relation.
-func (r *SetRelation) Len() int { return len(r.tuples) }
+func (r *SetRelation) Len() int { return len(r.views) }
 
 // Insert adds t if absent and reports whether it was new. The tuple is
-// retained by reference; callers that reuse buffers must pass a copy.
+// copied into the relation's arena, so the caller's buffer may be
+// reused immediately.
 func (r *SetRelation) Insert(t Tuple) bool {
-	h := t.Hash()
-	for _, idx := range r.buckets[h] {
-		if r.tuples[idx].Equal(t) {
-			return false
+	_, added := r.InsertHashed(t.Hash(), t)
+	return added
+}
+
+// InsertHashed is Insert for callers that already know t's full-tuple
+// hash (the engine computes it once in Distribute and ships it with the
+// tuple). It returns the stable arena-backed view of the tuple — valid
+// for the relation's lifetime — and whether the tuple was new.
+func (r *SetRelation) InsertHashed(h uint64, t Tuple) (Tuple, bool) {
+	slot := h & r.mask
+	for {
+		idx := r.table[slot]
+		if idx < 0 {
+			break
 		}
+		if r.hashes[idx] == h && r.views[idx].Equal(t) {
+			return r.views[idx], false
+		}
+		slot = (slot + 1) & r.mask
 	}
-	r.buckets[h] = append(r.buckets[h], int32(len(r.tuples)))
-	r.tuples = append(r.tuples, t)
-	return true
+	view := Tuple(r.arena.alloc(len(t)))
+	copy(view, t)
+	r.table[slot] = int32(len(r.views))
+	r.views = append(r.views, view)
+	r.hashes = append(r.hashes, h)
+	if uint64(len(r.views))*4 > uint64(len(r.table))*3 {
+		r.grow()
+	}
+	return view, true
+}
+
+// grow doubles the slot table, rehousing every view by its cached hash
+// (tuples are never re-hashed).
+func (r *SetRelation) grow() {
+	table := newSlotTable(2 * len(r.table))
+	mask := uint64(len(table) - 1)
+	for idx, h := range r.hashes {
+		slot := h & mask
+		for table[slot] >= 0 {
+			slot = (slot + 1) & mask
+		}
+		table[slot] = int32(idx)
+	}
+	r.table = table
+	r.mask = mask
 }
 
 // Contains implements Relation.
 func (r *SetRelation) Contains(t Tuple) bool {
-	h := t.Hash()
-	for _, idx := range r.buckets[h] {
-		if r.tuples[idx].Equal(t) {
+	return r.ContainsHashed(t.Hash(), t)
+}
+
+// ContainsHashed is Contains with a caller-supplied full-tuple hash.
+func (r *SetRelation) ContainsHashed(h uint64, t Tuple) bool {
+	slot := h & r.mask
+	for {
+		idx := r.table[slot]
+		if idx < 0 {
+			return false
+		}
+		if r.hashes[idx] == h && r.views[idx].Equal(t) {
 			return true
 		}
+		slot = (slot + 1) & r.mask
 	}
-	return false
 }
+
+// At returns the i-th inserted tuple as its stable arena view.
+func (r *SetRelation) At(i int) Tuple { return r.views[i] }
 
 // ForEach implements Relation.
 func (r *SetRelation) ForEach(fn func(Tuple) bool) {
-	for _, t := range r.tuples {
+	for _, t := range r.views {
 		if !fn(t) {
 			return
 		}
 	}
 }
 
-// Snapshot implements Relation.
-func (r *SetRelation) Snapshot() []Tuple { return r.tuples }
+// Snapshot implements Relation. The returned tuples alias the
+// relation's arena, whose chunks are never moved or reused: a snapshot
+// taken at any point stays valid — same length, same contents — no
+// matter how many inserts (including table growth and new arena
+// chunks) happen afterwards. Callers must not mutate the tuples.
+func (r *SetRelation) Snapshot() []Tuple {
+	return r.views[:len(r.views):len(r.views)]
+}

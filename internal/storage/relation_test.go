@@ -87,6 +87,54 @@ func TestSetRelationMatchesMapModel(t *testing.T) {
 	}
 }
 
+// TestSetRelationSnapshotStableAcrossGrowth is the aliasing regression
+// test: a snapshot taken early must keep its contents (both the slice
+// header and every tuple view) after the relation grows far past the
+// capacity it had when the snapshot was taken.
+func TestSetRelationSnapshotStableAcrossGrowth(t *testing.T) {
+	r := NewSetRelation(pairSchema("tc"))
+	for i := int64(0); i < 8; i++ {
+		r.Insert(Tuple{IntVal(i), IntVal(i * 10)})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot len = %d, want 8", len(snap))
+	}
+	// Insert far past every internal capacity: the hash table regrows
+	// multiple times and the arena rolls over several chunks.
+	for i := int64(8); i < 5000; i++ {
+		r.Insert(Tuple{IntVal(i), IntVal(i * 10)})
+	}
+	if len(snap) != 8 {
+		t.Fatalf("snapshot length changed to %d", len(snap))
+	}
+	for i, tu := range snap {
+		if tu[0].Int() != int64(i) || tu[1].Int() != int64(i)*10 {
+			t.Fatalf("snapshot[%d] = (%d,%d), want (%d,%d)",
+				i, tu[0].Int(), tu[1].Int(), i, i*10)
+		}
+	}
+	// Appending to the snapshot must not overwrite the relation's later
+	// views (the slice is full-sliced on return).
+	_ = append(snap, Tuple{IntVal(-1), IntVal(-1)})
+	if tu := r.At(8); tu[0].Int() != 8 {
+		t.Fatalf("append through snapshot clobbered views: %v", tu)
+	}
+}
+
+// TestSetRelationInsertCopies checks the copy-on-insert contract: the
+// caller's buffer may be mutated and reused after Insert returns.
+func TestSetRelationInsertCopies(t *testing.T) {
+	r := NewSetRelation(pairSchema("tc"))
+	buf := Tuple{IntVal(1), IntVal(2)}
+	r.Insert(buf)
+	buf[0], buf[1] = IntVal(7), IntVal(8)
+	r.Insert(buf)
+	if !r.Contains(Tuple{IntVal(1), IntVal(2)}) || !r.Contains(Tuple{IntVal(7), IntVal(8)}) {
+		t.Fatal("Insert must copy the tuple out of the caller's buffer")
+	}
+}
+
 func aggSchema(name string) *Schema {
 	return NewSchema(name, Column{"k", TInt}, Column{"v", TInt})
 }

@@ -1,6 +1,9 @@
 package storage
 
-import "strings"
+import (
+	"math/bits"
+	"strings"
+)
 
 // Tuple is one row of a relation: a flat slice of 64-bit values whose
 // interpretation comes from the relation's schema.
@@ -55,39 +58,48 @@ func (t Tuple) Format(s *Schema, st *SymbolTable) string {
 	return b.String()
 }
 
-// Hash computes a 64-bit FNV-1a hash of the full tuple.
+// Hash computes the 64-bit hash of the full tuple.
 func (t Tuple) Hash() uint64 {
 	return HashValues(t)
 }
 
 // HashOn computes a 64-bit hash over the listed columns only; it is the
-// partitioning and join hash used throughout the engine.
+// partitioning and join hash used throughout the engine. Hashing a
+// column prefix [0, n) yields the same value as HashValues of that
+// prefix, which lets the engine extend a cached group-key hash with
+// trailing columns via ExtendHash instead of re-hashing.
 func (t Tuple) HashOn(cols []int) uint64 {
-	h := fnvOffset
+	h := hashSeed
 	for _, c := range cols {
 		h = hashWord(h, uint64(t[c]))
 	}
 	return h
 }
 
-const (
-	fnvOffset uint64 = 14695981039346656037
-	fnvPrime  uint64 = 1099511628211
-)
+const hashSeed uint64 = 14695981039346656037
 
-// hashWord folds one 64-bit word into an FNV-1a state byte by byte.
+// hashWord folds one 64-bit word into the hash state. One multiply-
+// rotate-multiply round per word (xxhash-style) replaces the original
+// byte-at-a-time FNV-1a fold: same streaming shape, an eighth of the
+// work, and strong enough avalanche in the low bits for the
+// power-of-two open-addressed tables that consume these hashes.
 func hashWord(h, w uint64) uint64 {
-	for i := 0; i < 8; i++ {
-		h ^= w & 0xff
-		h *= fnvPrime
-		w >>= 8
-	}
-	return h
+	w *= 0x9E3779B97F4A7C15
+	w = bits.RotateLeft64(w, 31)
+	w *= 0xC2B2AE3D27D4EB4F
+	h ^= w
+	return bits.RotateLeft64(h, 27)*5 + 0x52DCE729
+}
+
+// ExtendHash folds one more value into a streaming hash, so that
+// ExtendHash(HashValues(vs[:n]), vs[n]) == HashValues(vs[:n+1]).
+func ExtendHash(h uint64, v Value) uint64 {
+	return hashWord(h, uint64(v))
 }
 
 // HashValues hashes an arbitrary value slice.
 func HashValues(vs []Value) uint64 {
-	h := fnvOffset
+	h := hashSeed
 	for _, v := range vs {
 		h = hashWord(h, uint64(v))
 	}
