@@ -22,7 +22,7 @@ func main() {
 	scale := flag.Float64("scale", 1, "dataset scale multiplier")
 	workers := flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS, min 4)")
 	seed := flag.Int64("seed", 42, "generator seed")
-	benchjson := flag.String("benchjson", "", "run the fixed tracking suite (TC, CC, SSSP, SG at 1/4/8 workers) and write JSON to this file ('-' = stdout)")
+	benchjson := flag.String("benchjson", "", "run the fixed tracking suite (TC, CC, SSSP, SG at 1/4/8/16 workers) and write JSON to this file ('-' = stdout)")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Workers: *workers, Seed: *seed}

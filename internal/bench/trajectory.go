@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"runtime"
 
 	dcdatalog "repro"
 	"repro/internal/datasets"
@@ -22,12 +23,12 @@ type BenchPoint struct {
 }
 
 // Trajectory runs the fixed tracking suite — TC, CC, SSSP and SG under
-// DWS at 1, 4 and 8 workers — and returns the points. The datasets are
-// deterministic in cfg.Seed so successive PRs measure identical
+// DWS at 1, 4, 8 and 16 workers — and returns the points. The datasets
+// are deterministic in cfg.Seed so successive PRs measure identical
 // workloads.
 func Trajectory(cfg Config) []BenchPoint {
 	cfg = cfg.withDefaults()
-	workerCounts := []int{1, 4, 8}
+	workerCounts := []int{1, 4, 8, 16}
 
 	type job struct {
 		query  queries.Query
@@ -55,6 +56,12 @@ func Trajectory(cfg Config) []BenchPoint {
 	var points []BenchPoint
 	for _, j := range jobs {
 		for _, w := range workerCounts {
+			// Settle the heap between cells so one cell's garbage (and
+			// the GC pacing it induced) cannot bleed into the next
+			// measurement — without this, adding a cell to the suite
+			// shifts the timings of every cell after it.
+			runtime.GC()
+			runtime.GC()
 			m := run(j.ds, j.query.Source, j.query.Output, dcdatalog.WithWorkers(w))
 			points = append(points, BenchPoint{
 				Query:   j.query.Name,

@@ -1,0 +1,86 @@
+package btree
+
+import "repro/internal/storage"
+
+// Cursor is an allocation-free forward iterator over a tree's leaf
+// chain. It is a value type: embed it in a reusable frame and reposition
+// it with First/Seek instead of allocating per scan. The tree must not
+// be mutated while a cursor is live (the engine guarantees this —
+// replicas merge only between local iterations, never under an active
+// probe).
+type Cursor struct {
+	n *node
+	i int
+}
+
+// First positions a cursor at the smallest key.
+func (t *Tree) First() Cursor {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	c := Cursor{n: n}
+	c.norm()
+	return c
+}
+
+// Seek positions a cursor at the first key >= key. A shorter key that is
+// a prefix of stored keys acts as an inclusive lower bound, so prefix
+// scans seek the prefix and walk until it stops matching.
+func (t *Tree) Seek(key storage.Tuple) Cursor {
+	n := t.root
+	for !n.leaf {
+		i, exact := t.search(n, key)
+		if exact {
+			i++
+		}
+		n = n.children[i]
+	}
+	i, _ := t.search(n, key)
+	c := Cursor{n: n, i: i}
+	c.norm()
+	return c
+}
+
+// norm advances past exhausted leaves (Seek can land one past the last
+// key of a leaf; empty trees have an empty root leaf).
+func (c *Cursor) norm() {
+	for c.n != nil && c.i >= len(c.n.keys) {
+		c.n = c.n.next
+		c.i = 0
+	}
+}
+
+// Valid reports whether the cursor is positioned on a key.
+func (c *Cursor) Valid() bool { return c.n != nil }
+
+// Key returns the current key. Only call when Valid.
+func (c *Cursor) Key() storage.Tuple { return c.n.keys[c.i] }
+
+// Val returns the current payload. Only call when Valid.
+func (c *Cursor) Val() storage.Value { return c.n.vals[c.i] }
+
+// Next advances to the next key in order.
+func (c *Cursor) Next() {
+	c.i++
+	c.norm()
+}
+
+// HasPrefix reports whether key starts with prefix under the tree's
+// column ordering (the termination check for cursor-driven prefix
+// scans).
+func (t *Tree) HasPrefix(key, prefix storage.Tuple) bool {
+	if len(key) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		ty := storage.TInt
+		if i < len(t.types) {
+			ty = t.types[i]
+		}
+		if storage.Compare(key[i], prefix[i], ty) != 0 {
+			return false
+		}
+	}
+	return true
+}

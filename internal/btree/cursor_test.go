@@ -1,0 +1,152 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func k2(a, b int64) storage.Tuple {
+	return storage.Tuple{storage.IntVal(a), storage.IntVal(b)}
+}
+
+func TestCursorEmptyTree(t *testing.T) {
+	tr := intTree()
+	if c := tr.First(); c.Valid() {
+		t.Fatal("First on empty tree is valid")
+	}
+	if c := tr.Seek(k1(0)); c.Valid() {
+		t.Fatal("Seek on empty tree is valid")
+	}
+}
+
+// TestCursorFullWalk inserts enough keys to force several levels of
+// splits and checks the cursor visits every key in order, crossing leaf
+// boundaries via norm.
+func TestCursorFullWalk(t *testing.T) {
+	tr := intTree()
+	perm := rand.New(rand.NewSource(9)).Perm(1000)
+	for _, p := range perm {
+		tr.Insert(k1(int64(p)), storage.IntVal(int64(p)*3))
+	}
+	want := int64(0)
+	for c := tr.First(); c.Valid(); c.Next() {
+		if c.Key()[0].Int() != want {
+			t.Fatalf("cursor key = %d, want %d", c.Key()[0].Int(), want)
+		}
+		if c.Val().Int() != want*3 {
+			t.Fatalf("cursor val = %d, want %d", c.Val().Int(), want*3)
+		}
+		want++
+	}
+	if want != 1000 {
+		t.Fatalf("cursor visited %d keys, want 1000", want)
+	}
+}
+
+func TestCursorSeek(t *testing.T) {
+	tr := intTree()
+	// Even keys only: 0, 2, 4, ..., 398.
+	for i := int64(0); i < 200; i++ {
+		tr.Insert(k1(i*2), storage.IntVal(i))
+	}
+	// Exact hit.
+	if c := tr.Seek(k1(100)); !c.Valid() || c.Key()[0].Int() != 100 {
+		t.Fatalf("Seek(100) landed on %v", c)
+	}
+	// Between keys: first key >= 101 is 102.
+	if c := tr.Seek(k1(101)); !c.Valid() || c.Key()[0].Int() != 102 {
+		t.Fatalf("Seek(101) landed on %v", c)
+	}
+	// Before all keys.
+	if c := tr.Seek(k1(-5)); !c.Valid() || c.Key()[0].Int() != 0 {
+		t.Fatalf("Seek(-5) landed on %v", c)
+	}
+	// Past all keys.
+	if c := tr.Seek(k1(399)); c.Valid() {
+		t.Fatal("Seek past the last key should be invalid")
+	}
+}
+
+// TestCursorPrefixRange drives the cursor the way the engine's
+// aggregate prefix probe does: Seek the prefix, walk while HasPrefix
+// holds.
+func TestCursorPrefixRange(t *testing.T) {
+	tr := New([]storage.Type{storage.TInt, storage.TInt})
+	rng := rand.New(rand.NewSource(4))
+	want := map[int64]int{}
+	for i := 0; i < 2000; i++ {
+		a, b := rng.Int63n(50), rng.Int63n(100)
+		if _, existed := tr.Insert(k2(a, b), storage.IntVal(a+b)); !existed {
+			want[a]++
+		}
+	}
+	for a := int64(0); a < 50; a++ {
+		prefix := k1(a)
+		got := 0
+		prev := int64(-1)
+		for c := tr.Seek(prefix); c.Valid(); c.Next() {
+			if !tr.HasPrefix(c.Key(), prefix) {
+				break
+			}
+			if c.Key()[0].Int() != a {
+				t.Fatalf("prefix %d scan saw key %v", a, c.Key())
+			}
+			if b := c.Key()[1].Int(); b <= prev {
+				t.Fatalf("prefix %d scan out of order: %d after %d", a, b, prev)
+			} else {
+				prev = b
+			}
+			got++
+		}
+		if got != want[a] {
+			t.Fatalf("prefix %d: %d keys, want %d", a, got, want[a])
+		}
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	tr := New([]storage.Type{storage.TInt, storage.TInt})
+	if !tr.HasPrefix(k2(3, 7), k1(3)) {
+		t.Fatal("(3,7) has prefix (3)")
+	}
+	if tr.HasPrefix(k2(3, 7), k1(4)) {
+		t.Fatal("(3,7) lacks prefix (4)")
+	}
+	if !tr.HasPrefix(k2(3, 7), k2(3, 7)) {
+		t.Fatal("full key is its own prefix")
+	}
+	if tr.HasPrefix(k1(3), k2(3, 7)) {
+		t.Fatal("shorter key cannot match longer prefix")
+	}
+	if !tr.HasPrefix(k2(3, 7), storage.Tuple{}) {
+		t.Fatal("empty prefix matches everything")
+	}
+}
+
+// TestCursorMatchesAscend cross-checks the cursor against Ascend on a
+// random two-column tree.
+func TestCursorMatchesAscend(t *testing.T) {
+	tr := New([]storage.Type{storage.TInt, storage.TInt})
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		tr.Insert(k2(rng.Int63n(200), rng.Int63n(200)), storage.IntVal(int64(i)))
+	}
+	var fromAscend [][2]int64
+	tr.Ascend(func(key storage.Tuple, _ storage.Value) bool {
+		fromAscend = append(fromAscend, [2]int64{key[0].Int(), key[1].Int()})
+		return true
+	})
+	i := 0
+	for c := tr.First(); c.Valid(); c.Next() {
+		k := [2]int64{c.Key()[0].Int(), c.Key()[1].Int()}
+		if i >= len(fromAscend) || k != fromAscend[i] {
+			t.Fatalf("cursor key %d = %v, Ascend saw %v", i, k, fromAscend[i])
+		}
+		i++
+	}
+	if i != len(fromAscend) {
+		t.Fatalf("cursor visited %d keys, Ascend %d", i, len(fromAscend))
+	}
+}

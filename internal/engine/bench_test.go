@@ -62,3 +62,106 @@ func BenchmarkExchangeTC1W(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkKernelRecursiveProbe isolates the representative recursive
+// hot loop — outer-bind a delta tuple, probe the base hash index, emit —
+// on a single worker so allocs/op reflects the kernel itself rather
+// than exchange machinery. The flattened kernel must keep this at zero
+// allocations per probe: every allocation here is per-run setup.
+func BenchmarkKernelRecursiveProbe(b *testing.B) {
+	src := `tc(X, Y) :- edge(X, Y).
+	tc(X, Z) :- tc(X, Y), edge(Y, Z).`
+	schemas := map[string]*storage.Schema{"edge": intSchema("edge", "x", "y")}
+	prog := compileSrc(b, src, schemas, nil)
+	edb := map[string][]storage.Tuple{"edge": benchTCEdges()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(prog, edb, Options{Workers: 1, Strategy: coord.DWS}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelAggProbe is the aggregate-path counterpart: APSP's
+// non-linear recursion drives the B+-tree prefix cursor and the
+// reusable aggregate row buffer on every probe.
+func BenchmarkKernelAggProbe(b *testing.B) {
+	src := `path(A, B, min<D>) :- warc(A, B, D).
+	path(A, B, min<D>) :- path(A, C, D1), path(C, B, D2), D = D1 + D2.`
+	schemas := map[string]*storage.Schema{"warc": intSchema("warc", "x", "y", "w")}
+	prog := compileSrc(b, src, schemas, nil)
+	var es [][3]int64
+	const n = 60
+	for i := int64(0); i < n; i++ {
+		es = append(es, [3]int64{i, (i + 1) % n, 1 + i%9})
+		es = append(es, [3]int64{i, (i * 7) % n, 3 + i%5})
+	}
+	edb := map[string][]storage.Tuple{"warc": triples(es)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(prog, edb, Options{Workers: 1, Strategy: coord.DWS}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// tcAllocsEDB builds a chain+skip edge relation of the given size for
+// the allocation regression test.
+func tcAllocsEDB(n int64) map[string][]storage.Tuple {
+	var es [][2]int64
+	for i := int64(0); i < n-1; i++ {
+		es = append(es, [2]int64{i, i + 1})
+	}
+	for i := int64(0); i < n; i += 7 {
+		es = append(es, [2]int64{i, (i * 13) % n})
+	}
+	return map[string][]storage.Tuple{"edge": pairs(es)}
+}
+
+// TestKernelAllocsPerDerivedTuple is the allocation regression guard
+// for the flattened kernel: the marginal allocation cost of a derived
+// tuple must stay far below one. Re-introducing a closure, callback or
+// per-probe buffer in the hot loop adds at least one allocation per
+// delta tuple and trips this immediately. Comparing two workload sizes
+// cancels the per-run setup allocations (trees, kernels, worker state),
+// which do not scale with the derivation count.
+func TestKernelAllocsPerDerivedTuple(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is slow")
+	}
+	src := `tc(X, Y) :- edge(X, Y).
+	tc(X, Z) :- tc(X, Y), edge(Y, Z).`
+	schemas := map[string]*storage.Schema{"edge": intSchema("edge", "x", "y")}
+	prog := compileSrc(t, src, schemas, nil)
+
+	measure := func(n int64) (allocs float64, tuples int) {
+		edb := tcAllocsEDB(n)
+		res, err := Run(prog, edb, Options{Workers: 1, Strategy: coord.DWS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuples = len(res.Relations["tc"])
+		allocs = testing.AllocsPerRun(3, func() {
+			if _, err := Run(prog, edb, Options{Workers: 1, Strategy: coord.DWS}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return allocs, tuples
+	}
+
+	allocsSmall, tuplesSmall := measure(100)
+	allocsBig, tuplesBig := measure(260)
+	extraTuples := tuplesBig - tuplesSmall
+	if extraTuples < 10000 {
+		t.Fatalf("workload too small to measure: only %d extra tuples", extraTuples)
+	}
+	perTuple := (allocsBig - allocsSmall) / float64(extraTuples)
+	t.Logf("tc %d->%d tuples: %.0f -> %.0f allocs, %.4f allocs per derived tuple",
+		tuplesSmall, tuplesBig, allocsSmall, allocsBig, perTuple)
+	if perTuple > 0.5 {
+		t.Fatalf("marginal allocations per derived tuple = %.3f, want < 0.5 "+
+			"(a closure or per-probe buffer crept back into the kernel hot loop)", perTuple)
+	}
+}

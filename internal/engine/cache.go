@@ -67,22 +67,28 @@ func (c *existCache) put(h uint64, key []storage.Value, val storage.Value) {
 // set-semantics recursive replicas: tuples are immutable once inserted,
 // so the index only ever appends. It is a power-of-two bucket array of
 // chain heads over flat per-entry arrays (next pointer, cached key
-// hash, tuple view) — growth rebuilds the bucket heads from the cached
-// hashes, and steady-state adds only extend the entry arrays.
+// hash, view index into the owning set relation) — growth rebuilds the
+// bucket heads from the cached hashes, and steady-state adds only
+// extend the entry arrays. Entries name tuples by their 4-byte set
+// index rather than a 24-byte Tuple header, so every array here is
+// pointer-free and invisible to the garbage collector; the cursor
+// reconstructs tuple views through SetRelation.At.
 type incIndex struct {
-	cols   []int
-	mask   uint64
-	head   []int32 // bucket -> most recent entry, -1 when empty
-	next   []int32 // entry -> previous entry in the same bucket
-	khash  []uint64
-	tuples []storage.Tuple
+	cols  []int
+	set   *storage.SetRelation
+	mask  uint64
+	head  []int32 // bucket -> most recent entry, -1 when empty
+	next  []int32 // entry -> previous entry in the same bucket
+	khash []uint64
+	ids   []int32 // entry -> view index in set
 }
 
 const incIndexMinBuckets = 16
 
-func newIncIndex(cols []int) *incIndex {
+func newIncIndex(cols []int, set *storage.SetRelation) *incIndex {
 	ix := &incIndex{
 		cols: cols,
+		set:  set,
 		mask: incIndexMinBuckets - 1,
 		head: make([]int32, incIndexMinBuckets),
 	}
@@ -92,18 +98,18 @@ func newIncIndex(cols []int) *incIndex {
 	return ix
 }
 
-// add indexes a newly inserted tuple. The tuple must be a stable view
-// (the set relation's arena guarantees this).
-func (ix *incIndex) add(t storage.Tuple) {
-	if len(ix.tuples) >= len(ix.head) {
+// add indexes the id-th tuple of the owning set relation (which must
+// already hold it).
+func (ix *incIndex) add(id int32) {
+	if len(ix.ids) >= len(ix.head) {
 		ix.grow()
 	}
-	h := t.HashOn(ix.cols)
+	h := ix.set.At(int(id)).HashOn(ix.cols)
 	b := h & ix.mask
 	ix.next = append(ix.next, ix.head[b])
-	ix.head[b] = int32(len(ix.tuples))
+	ix.head[b] = int32(len(ix.ids))
 	ix.khash = append(ix.khash, h)
-	ix.tuples = append(ix.tuples, t)
+	ix.ids = append(ix.ids, id)
 }
 
 // grow doubles the bucket array and re-chains every entry from its
@@ -124,21 +130,54 @@ func (ix *incIndex) grow() {
 // lookup streams tuples matching the key until fn returns false
 // (most-recently-indexed first).
 func (ix *incIndex) lookup(key []storage.Value, fn func(storage.Tuple) bool) {
-	h := storage.HashValues(key)
-	for i := ix.head[h&ix.mask]; i >= 0; i = ix.next[i] {
-		if ix.khash[i] != h {
-			continue
+	c := ix.seek(key)
+	for {
+		t, ok := c.next(key)
+		if !ok {
+			return
 		}
-		t := ix.tuples[i]
-		ok := true
-		for j, c := range ix.cols {
-			if t[c] != key[j] {
-				ok = false
-				break
-			}
-		}
-		if ok && !fn(t) {
+		if !fn(t) {
 			return
 		}
 	}
+}
+
+// incCursor walks one incIndex chain without callbacks: seek hashes the
+// key once, next advances to the following match. It is a value type so
+// executors can embed it in a reusable frame; no per-probe allocation.
+type incCursor struct {
+	ix *incIndex
+	i  int32
+	h  uint64
+}
+
+// seek positions a cursor on the chain for key (most recent first).
+func (ix *incIndex) seek(key []storage.Value) incCursor {
+	h := storage.HashValues(key)
+	return incCursor{ix: ix, i: ix.head[h&ix.mask], h: h}
+}
+
+// next returns the next tuple whose key columns equal key, advancing the
+// cursor past it; ok is false when the chain is exhausted.
+func (c *incCursor) next(key []storage.Value) (storage.Tuple, bool) {
+	ix := c.ix
+	for i := c.i; i >= 0; i = ix.next[i] {
+		if ix.khash[i] != c.h {
+			continue
+		}
+		t := ix.set.At(int(ix.ids[i]))
+		match := true
+		for j, col := range ix.cols {
+			if t[col] != key[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			c.i = ix.next[i]
+			return t, true
+		}
+	}
+	c.i = -1
+	return nil, false
 }

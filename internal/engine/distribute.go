@@ -43,11 +43,13 @@ type outBatch struct {
 }
 
 // dedupSlot is one open-addressed dedup entry: a batch row index
-// stamped with the generation that wrote it. Slots from earlier
-// generations read as empty.
+// stamped with the generation that wrote it, plus the row's dedup hash
+// so probe collisions are rejected without loading the row's words.
+// Slots from earlier generations read as empty.
 type dedupSlot struct {
-	gen uint32
-	idx int32
+	hash uint64
+	gen  uint32
+	idx  int32
 }
 
 const outBatchMinSlots = 64
@@ -129,6 +131,10 @@ func (b *outBatch) add(h uint64, wire storage.Tuple) int {
 		if s.gen != b.gen {
 			break // empty under the current generation
 		}
+		if s.hash != dh {
+			slot = (slot + 1) & b.mask
+			continue
+		}
 		t := b.row(int(s.idx))
 		if !sameKey(t, wire, b.agg, b.keyCols) {
 			slot = (slot + 1) & b.mask
@@ -151,7 +157,7 @@ func (b *outBatch) add(h uint64, wire storage.Tuple) int {
 		}
 		return b.count
 	}
-	b.slots[slot] = dedupSlot{gen: b.gen, idx: int32(b.count)}
+	b.slots[slot] = dedupSlot{hash: dh, gen: b.gen, idx: int32(b.count)}
 	b.push(h, wire)
 	if uint64(b.count)*4 > uint64(len(b.slots))*3 {
 		b.growSlots()
@@ -166,11 +172,12 @@ func (b *outBatch) growSlots() {
 	b.mask = uint64(len(b.slots) - 1)
 	b.gen = 1
 	for i := 0; i < b.count; i++ {
-		slot := b.dedupHash(b.hashes[i], b.row(i)) & b.mask
+		dh := b.dedupHash(b.hashes[i], b.row(i))
+		slot := dh & b.mask
 		for b.slots[slot].gen == b.gen {
 			slot = (slot + 1) & b.mask
 		}
-		b.slots[slot] = dedupSlot{gen: b.gen, idx: int32(i)}
+		b.slots[slot] = dedupSlot{hash: dh, gen: b.gen, idx: int32(i)}
 	}
 }
 
@@ -252,4 +259,5 @@ func (w *worker) flushAll() {
 			}
 		}
 	}
+	w.flushPending = w.flushPending[:0]
 }

@@ -6,30 +6,6 @@ import (
 	"repro/internal/storage"
 )
 
-// matchAccess applies an access's intra-atom equalities, post-checks
-// and assignments to a candidate tuple, filling slots. It returns false
-// when the tuple does not satisfy the access.
-func (w *worker) matchAccess(acc *physical.Access, t storage.Tuple, slots []storage.Value) bool {
-	for _, eq := range acc.EqCols {
-		if t[eq[0]] != t[eq[1]] {
-			return false
-		}
-	}
-	if len(acc.PostCols) > 0 {
-		colTypes := w.run.types[acc.Pred]
-		for i, col := range acc.PostCols {
-			src := acc.PostSrcs[i]
-			if !valueEq(t[col], colTypes[col], src.Get(slots), src.Type) {
-				return false
-			}
-		}
-	}
-	for _, a := range acc.Assign {
-		slots[a.Slot] = t[a.Col]
-	}
-	return true
-}
-
 // valueEq compares two typed values for equality with int/float
 // promotion.
 func valueEq(a storage.Value, at storage.Type, b storage.Value, bt storage.Type) bool {
@@ -40,141 +16,6 @@ func valueEq(a storage.Value, at storage.Type, b storage.Value, bt storage.Type)
 		return false
 	}
 	return a.AsFloat(at) == b.AsFloat(bt)
-}
-
-// bindOuter applies a rule's outer access to the driving tuple.
-func (w *worker) bindOuter(r *physical.Rule, t storage.Tuple) bool {
-	return w.matchAccess(r.Outer, t, w.scratch[r])
-}
-
-// execOps runs the pipeline from op i onward; reaching the end emits
-// the head. The single slot array per (worker, rule) backtracks
-// naturally: deeper ops overwrite their slots per match.
-func (w *worker) execOps(r *physical.Rule, i int) {
-	slots := w.scratch[r]
-	if i == len(r.Ops) {
-		w.emit(r, slots)
-		return
-	}
-	op := &r.Ops[i]
-	switch op.Kind {
-	case physical.OpCond:
-		l := op.L.Eval(slots)
-		rv := op.R.Eval(slots)
-		if evalCompare(op.Cmp, l, op.L.Typ, rv, op.R.Typ) {
-			w.execOps(r, i+1)
-		}
-	case physical.OpLet:
-		v := op.Expr.Eval(slots)
-		slots[op.Slot] = convertVal(v, op.Expr.Typ, op.SlotType)
-		w.execOps(r, i+1)
-	case physical.OpNeg:
-		if !w.probeExists(op.Access, slots) {
-			w.execOps(r, i+1)
-		}
-	case physical.OpJoin:
-		w.probe(op.Access, slots, func(t storage.Tuple) {
-			if w.matchAccess(op.Access, t, slots) {
-				w.execOps(r, i+1)
-			}
-		})
-	}
-}
-
-// probe streams the tuples matching an access's key.
-func (w *worker) probe(acc *physical.Access, slots []storage.Value, fn func(storage.Tuple)) {
-	var keyArr [8]storage.Value
-	key := keyArr[:0]
-	for _, src := range acc.KeySrcs {
-		key = append(key, src.Get(slots))
-	}
-	visit := func(t storage.Tuple) bool { fn(t); return true }
-
-	if acc.PredIdx < 0 {
-		// Base or earlier-stratum relation through the global store.
-		if acc.LookupIdx >= 0 {
-			w.run.store.lookup(acc.Pred, acc.LookupIdx, key, visit)
-			return
-		}
-		for _, t := range w.run.store.scan(acc.Pred) {
-			fn(t)
-		}
-		return
-	}
-
-	rep := w.replicas[acc.PredIdx][acc.PathIdx]
-	if !acc.AggProbe {
-		if acc.LookupIdx >= 0 {
-			rep.incIdx[acc.LookupIdx].lookup(key, visit)
-			return
-		}
-		rep.set.ForEach(visit)
-		return
-	}
-
-	// Aggregate replica probe: prefix scan over the path-ordered group
-	// B+-tree, materializing (group..., aggregate) rows.
-	row := make(storage.Tuple, rep.groupLen+1)
-	emitRow := func(k storage.Tuple, v storage.Value) bool {
-		for idx, col := range rep.keyOrder {
-			row[col] = k[idx]
-		}
-		row[rep.groupLen] = v
-		fn(row)
-		return true
-	}
-	switch {
-	case acc.PrefixLen == len(rep.keyOrder):
-		if v, ok := rep.aggTree.Get(key); ok {
-			emitRow(key, v)
-		}
-	case acc.PrefixLen == 0:
-		rep.aggTree.Ascend(emitRow)
-	default:
-		rep.aggTree.AscendPrefix(key, emitRow)
-	}
-}
-
-// probeExists is the anti-join probe (stratified negation).
-func (w *worker) probeExists(acc *physical.Access, slots []storage.Value) bool {
-	var keyArr [8]storage.Value
-	key := keyArr[:0]
-	for _, src := range acc.KeySrcs {
-		key = append(key, src.Get(slots))
-	}
-	if acc.LookupIdx >= 0 {
-		found := false
-		w.run.store.lookup(acc.Pred, acc.LookupIdx, key, func(t storage.Tuple) bool {
-			if w.negMatches(acc, t, slots) {
-				found = true
-				return false
-			}
-			return true
-		})
-		return found
-	}
-	for _, t := range w.run.store.scan(acc.Pred) {
-		if w.negMatches(acc, t, slots) {
-			return true
-		}
-	}
-	return false
-}
-
-func (w *worker) negMatches(acc *physical.Access, t storage.Tuple, slots []storage.Value) bool {
-	for _, eq := range acc.EqCols {
-		if t[eq[0]] != t[eq[1]] {
-			return false
-		}
-	}
-	colTypes := w.run.types[acc.Pred]
-	for i, col := range acc.PostCols {
-		src := acc.PostSrcs[i]
-		if !valueEq(t[col], colTypes[col], src.Get(slots), src.Type) {
-			return false
-		}
-	}
-	return true
 }
 
 // evalCompare mirrors the compiled comparison semantics.
@@ -278,5 +119,11 @@ func (w *worker) send(dest, predIdx, pathIdx int, h uint64, wire storage.Tuple) 
 		})
 		return
 	}
-	w.outBufs[dest][predIdx][pathIdx].add(h, wire)
+	if w.outBufs[dest][predIdx][pathIdx].add(h, wire) == w.flushCap {
+		// Crossed the row cap: schedule the batch for flushing at the
+		// next point where no kernel cursor is live.
+		w.flushPending = append(w.flushPending, flushKey{
+			dest: int32(dest), pred: int32(predIdx), path: int32(pathIdx),
+		})
+	}
 }

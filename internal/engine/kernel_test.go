@@ -1,0 +1,248 @@
+package engine
+
+// Kernel op-coverage tests: drive the flattened join kernel through
+// every op kind (joins at several depths, conditions, lets, stratified
+// negation) and every aggregate probe source (full-key get, whole-tree
+// scan, partial-prefix range), cross-checking each program against the
+// independent naive oracle. A construction-time hook additionally
+// asserts that the compiled kernels really contain the probe source the
+// test claims to cover, so coverage cannot silently rot when planning
+// changes.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/coord"
+	"repro/internal/naive"
+	"repro/internal/parser"
+	"repro/internal/pcg"
+	"repro/internal/physical"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// runBothPlan is runBoth with explicit plan build options (the agg
+// probe-source tests need WithForceBroadcast to reach the scan and
+// full-key cursor paths).
+func runBothPlan(t *testing.T, src string, schemas map[string]*storage.Schema,
+	edb map[string][]storage.Tuple, params map[string]physical.Param,
+	bopts []plan.BuildOption, opts Options) (map[string][]storage.Tuple, map[string][]storage.Tuple) {
+	t.Helper()
+	pt := map[string]storage.Type{}
+	pv := map[string]storage.Value{}
+	for k, p := range params {
+		pt[k] = p.Type
+		pv[k] = p.Value
+	}
+	a, err := pcg.Analyze(parser.MustParse(src), schemas, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := plan.Build(a, bopts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := storage.NewSymbolTable()
+	prog, err := physical.Compile(lp, params, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, edb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := naive.Eval(a, edb, syms, pv, naive.WithEpsilon(opts.Epsilon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Relations, oracle
+}
+
+// captureKernelSrcs installs the kernel construction hook for the
+// duration of fn and returns the set of probe sources compiled into any
+// kernel while it ran.
+func captureKernelSrcs(t *testing.T, fn func()) map[probeSrc]bool {
+	t.Helper()
+	seen := map[probeSrc]bool{}
+	kernelHook = func(_ *physical.Rule, srcs []probeSrc) {
+		for _, s := range srcs {
+			seen[s] = true
+		}
+	}
+	defer func() { kernelHook = nil }()
+	fn()
+	return seen
+}
+
+func kernelConfigs() []Options {
+	return []Options{
+		{Workers: 1, Strategy: coord.DWS, BatchSize: 8},
+		{Workers: 4, Strategy: coord.DWS, BatchSize: 8},
+		{Workers: 3, Strategy: coord.Global, BatchSize: 8},
+	}
+}
+
+// TestKernelCondLetJoin drives the kernel through an index-probe join
+// followed by a let and a condition inside the recursion: paths of
+// bounded hop count.
+func TestKernelCondLetJoin(t *testing.T) {
+	src := `
+		bp(X, Y, C) :- arc(X, Y), C = 1.
+		bp(X, Z, C) :- bp(X, Y, C1), arc(Y, Z), C = C1 + 1, C <= 4.
+	`
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(700 + seed))
+		edges := randGraph(rng, 20, 45)
+		for _, o := range kernelConfigs() {
+			var got, want map[string][]storage.Tuple
+			seen := captureKernelSrcs(t, func() {
+				got, want = runBothPlan(t, src, arcSchemas(),
+					map[string][]storage.Tuple{"arc": pairs(edges)}, nil, nil, o)
+			})
+			if !seen[srcBaseLookup] {
+				t.Fatal("expected a base hash-index probe in the compiled kernels")
+			}
+			assertSameRelation(t, fmt.Sprintf("bp/seed%d/%s", seed, cfgName(o)), got["bp"], want["bp"])
+		}
+	}
+}
+
+// TestKernelMultiLevelJoins exercises backtracking across several join
+// frames: a three-probe base rule and a recursive rule that descends
+// two probe levels past the delta binding.
+func TestKernelMultiLevelJoins(t *testing.T) {
+	src := `
+		quad(A, D) :- arc(A, B), arc(B, C), arc(C, D).
+		tc3(X, Y) :- arc(X, Y).
+		tc3(X, W) :- tc3(X, Y), arc(Y, Z), arc(Z, W), X != W.
+	`
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(800 + seed))
+		edges := randGraph(rng, 18, 40)
+		for _, o := range kernelConfigs() {
+			got, want := runBothPlan(t, src, arcSchemas(),
+				map[string][]storage.Tuple{"arc": pairs(edges)}, nil, nil, o)
+			assertSameRelation(t, fmt.Sprintf("quad/seed%d/%s", seed, cfgName(o)), got["quad"], want["quad"])
+			assertSameRelation(t, fmt.Sprintf("tc3/seed%d/%s", seed, cfgName(o)), got["tc3"], want["tc3"])
+		}
+	}
+}
+
+// TestKernelNegation covers the anti-join frame against both a base
+// relation and an earlier-stratum derived relation.
+func TestKernelNegation(t *testing.T) {
+	src := `
+		tc(X, Y) :- arc(X, Y).
+		tc(X, Y) :- tc(X, Z), arc(Z, Y).
+		node(X) :- arc(X, _).
+		node(Y) :- arc(_, Y).
+		unlinked(X, Y) :- node(X), node(Y), !arc(X, Y).
+		unreach(X, Y) :- node(X), node(Y), !tc(X, Y).
+	`
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(900 + seed))
+		edges := randGraph(rng, 14, 24)
+		for _, o := range kernelConfigs() {
+			got, want := runBothPlan(t, src, arcSchemas(),
+				map[string][]storage.Tuple{"arc": pairs(edges)}, nil, nil, o)
+			assertSameRelation(t, fmt.Sprintf("unlinked/seed%d/%s", seed, cfgName(o)), got["unlinked"], want["unlinked"])
+			assertSameRelation(t, fmt.Sprintf("unreach/seed%d/%s", seed, cfgName(o)), got["unreach"], want["unreach"])
+		}
+	}
+}
+
+func apspEdges(seed int64) [][3]int64 {
+	rng := rand.New(rand.NewSource(seed))
+	var edges [][3]int64
+	for i := 0; i < 30; i++ {
+		edges = append(edges, [3]int64{rng.Int63n(12), rng.Int63n(12), 1 + rng.Int63n(9)})
+	}
+	return edges
+}
+
+// TestKernelAggPrefixProbe covers the partial-prefix B+-tree range
+// cursor: non-linear APSP probes path(C, B, D2) with only the first
+// group column bound.
+func TestKernelAggPrefixProbe(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		edges := apspEdges(1000 + seed)
+		for _, o := range kernelConfigs() {
+			var got, want map[string][]storage.Tuple
+			seen := captureKernelSrcs(t, func() {
+				got, want = runBothPlan(t, apspSrc, warcSchemas(),
+					map[string][]storage.Tuple{"warc": triples(edges)}, nil, nil, o)
+			})
+			if !seen[srcAggPrefix] {
+				t.Fatal("expected a partial-prefix aggregate probe in the compiled kernels")
+			}
+			assertSameRelation(t, fmt.Sprintf("apsp/seed%d/%s", seed, cfgName(o)), got["path"], want["path"])
+		}
+	}
+}
+
+// TestKernelAggScanProbe covers the PrefixLen-0 whole-tree cursor:
+// under forced broadcast the APSP replica key order starts with a group
+// column the probe leaves unbound, so the probe degrades to an ordered
+// scan with post-filters.
+func TestKernelAggScanProbe(t *testing.T) {
+	bopts := []plan.BuildOption{plan.WithForceBroadcast()}
+	for seed := int64(0); seed < 3; seed++ {
+		edges := apspEdges(1100 + seed)
+		for _, o := range kernelConfigs() {
+			var got, want map[string][]storage.Tuple
+			seen := captureKernelSrcs(t, func() {
+				got, want = runBothPlan(t, apspSrc, warcSchemas(),
+					map[string][]storage.Tuple{"warc": triples(edges)}, nil, bopts, o)
+			})
+			if !seen[srcAggScan] {
+				t.Fatal("expected a whole-tree aggregate scan in the compiled kernels")
+			}
+			assertSameRelation(t, fmt.Sprintf("apsp-bcast/seed%d/%s", seed, cfgName(o)), got["path"], want["path"])
+		}
+	}
+}
+
+// TestKernelAggGetProbe covers the fully-bound group-key probe (one
+// B+-tree get): a hop-count program whose recursive rule re-probes the
+// aggregate with its single group column bound. The sh(X, _) filter is
+// monotone — groups only ever appear, never vanish — so the fixpoint is
+// deterministic and the oracle must agree.
+func TestKernelAggGetProbe(t *testing.T) {
+	src := `
+		sh(X, min<D>) :- start(X, D).
+		sh(X, min<D>) :- sh(Y, D1), arc(Y, X), sh(X, _), D = D1 + 1.
+	`
+	schemas := map[string]*storage.Schema{
+		"arc":   intSchema("arc", "x", "y"),
+		"start": intSchema("start", "x", "d"),
+	}
+	bopts := []plan.BuildOption{plan.WithForceBroadcast()}
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(1200 + seed))
+		edges := randGraph(rng, 16, 36)
+		// Every node present in the graph gets a starting distance, so
+		// the recursive filter probe actually passes for most tuples.
+		nodes := map[int64]bool{}
+		for _, e := range edges {
+			nodes[e[0]] = true
+			nodes[e[1]] = true
+		}
+		var start [][2]int64
+		for v := range nodes {
+			start = append(start, [2]int64{v, 5 + v%7})
+		}
+		edb := map[string][]storage.Tuple{"arc": pairs(edges), "start": pairs(start)}
+		for _, o := range kernelConfigs() {
+			var got, want map[string][]storage.Tuple
+			seen := captureKernelSrcs(t, func() {
+				got, want = runBothPlan(t, src, schemas, edb, nil, bopts, o)
+			})
+			if !seen[srcAggGet] {
+				t.Fatal("expected a fully-bound aggregate get in the compiled kernels")
+			}
+			assertSameRelation(t, fmt.Sprintf("sh/seed%d/%s", seed, cfgName(o)), got["sh"], want["sh"])
+		}
+	}
+}

@@ -28,8 +28,11 @@ type replica struct {
 	agg      storage.AggKind
 	groupLen int
 	valType  storage.Type
-	// keyOrder permutes group columns into B+-tree key order.
+	// keyOrder permutes group columns into B+-tree key order; keyTypes
+	// holds the column types in that order (the kernel's prefix-scan
+	// termination check compares with them).
 	keyOrder []int
+	keyTypes []storage.Type
 
 	// Set semantics.
 	set    *storage.SetRelation
@@ -46,9 +49,23 @@ type replica struct {
 	// group — only the latest aggregate matters, and without
 	// coalescing, update counts amplify exponentially through cycles.
 	// Set deltas are stable arena views and cost nothing to queue.
-	consume  bool
-	delta    []storage.Tuple
-	deltaIdx map[uint64][]int32
+	//
+	// Aggregate delta rows live in one of two flat word buffers (views
+	// into the active one), and the per-group coalescing index is an
+	// open-addressed, generation-stamped slot table keyed by the wire
+	// group hash the exchange already shipped — takeDelta swaps the
+	// buffers and bumps the generation, so steady-state delta queueing
+	// allocates nothing. Double buffering matters: rows handed out by
+	// takeDelta are still being evaluated while the next iteration's
+	// rows accumulate.
+	consume    bool
+	delta      []storage.Tuple
+	deltaSpare []storage.Tuple
+	deltaWords [2][]storage.Value
+	deltaCur   int
+	deltaSlots []dedupSlot
+	deltaMask  uint64
+	deltaGen   uint32
 
 	// Options.
 	useCache  bool
@@ -73,7 +90,7 @@ func newReplica(pred *physical.Pred, pathIdx int, opts *Options) *replica {
 	if pp.Agg == storage.AggNone {
 		r.set = storage.NewSetRelation(pp.Schema)
 		for _, cols := range pred.Lookups {
-			r.incIdx = append(r.incIdx, newIncIndex(cols))
+			r.incIdx = append(r.incIdx, newIncIndex(cols, r.set))
 		}
 		return r
 	}
@@ -82,6 +99,7 @@ func newReplica(pred *physical.Pred, pathIdx int, opts *Options) *replica {
 	for i, c := range r.keyOrder {
 		keyTypes[i] = pp.Schema.ColType(c)
 	}
+	r.keyTypes = keyTypes
 	r.aggTree = btree.New(keyTypes)
 	if pp.Agg == storage.AggCount || pp.Agg == storage.AggSum {
 		ctypes := append(append([]storage.Type(nil), keyTypes...), storage.TInt)
@@ -131,35 +149,83 @@ func (r *replica) queueDelta(h uint64, wire storage.Tuple, val storage.Value) {
 	if !r.consume {
 		return
 	}
-	if r.deltaIdx == nil {
-		r.deltaIdx = make(map[uint64][]int32)
+	if r.deltaSlots == nil {
+		r.deltaSlots = make([]dedupSlot, outBatchMinSlots)
+		r.deltaMask = outBatchMinSlots - 1
+		r.deltaGen = 1
 	}
-	for _, idx := range r.deltaIdx[h] {
-		row := r.delta[idx]
-		same := true
-		for i := 0; i < r.groupLen; i++ {
-			if row[i] != wire[i] {
-				same = false
-				break
+	slot := h & r.deltaMask
+	for {
+		s := r.deltaSlots[slot]
+		if s.gen != r.deltaGen {
+			break
+		}
+		if s.hash == h {
+			row := r.delta[s.idx]
+			same := true
+			for i := 0; i < r.groupLen; i++ {
+				if row[i] != wire[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				row[r.groupLen] = val
+				return
 			}
 		}
-		if same {
-			row[r.groupLen] = val
-			return
-		}
+		slot = (slot + 1) & r.deltaMask
 	}
-	row := make(storage.Tuple, r.groupLen+1)
-	copy(row, wire[:r.groupLen])
-	row[r.groupLen] = val
-	r.deltaIdx[h] = append(r.deltaIdx[h], int32(len(r.delta)))
+	words := r.deltaWords[r.deltaCur]
+	off := len(words)
+	words = append(words, wire[:r.groupLen]...)
+	words = append(words, val)
+	r.deltaWords[r.deltaCur] = words
+	// Views stay valid across append growth: a reallocation leaves old
+	// rows pointing at the retired backing array, which is exactly
+	// where their words live.
+	row := storage.Tuple(words[off : off+r.groupLen+1 : off+r.groupLen+1])
+	r.deltaSlots[slot] = dedupSlot{hash: h, gen: r.deltaGen, idx: int32(len(r.delta))}
 	r.delta = append(r.delta, row)
+	if uint64(len(r.delta))*4 > uint64(len(r.deltaSlots))*3 {
+		r.growDeltaSlots()
+	}
 }
 
-// takeDelta removes and returns the pending delta rows.
+// growDeltaSlots doubles the coalescing table, rehousing current-
+// generation entries.
+func (r *replica) growDeltaSlots() {
+	old := r.deltaSlots
+	r.deltaSlots = make([]dedupSlot, 2*len(old))
+	r.deltaMask = uint64(len(r.deltaSlots) - 1)
+	for _, s := range old {
+		if s.gen != r.deltaGen {
+			continue
+		}
+		slot := s.hash & r.deltaMask
+		for r.deltaSlots[slot].gen == r.deltaGen {
+			slot = (slot + 1) & r.deltaMask
+		}
+		r.deltaSlots[slot] = s
+	}
+}
+
+// takeDelta removes and returns the pending delta rows, swapping in the
+// spare row/word buffers so the returned rows stay untouched while the
+// next iteration's delta accumulates.
 func (r *replica) takeDelta() []storage.Tuple {
 	d := r.delta
-	r.delta = nil
-	r.deltaIdx = nil
+	r.delta = r.deltaSpare[:0]
+	r.deltaSpare = d
+	r.deltaCur = 1 - r.deltaCur
+	r.deltaWords[r.deltaCur] = r.deltaWords[r.deltaCur][:0]
+	r.deltaGen++
+	if r.deltaGen == 0 { // generation wrapped: scrub stale stamps once
+		for i := range r.deltaSlots {
+			r.deltaSlots[i] = dedupSlot{}
+		}
+		r.deltaGen = 1
+	}
 	return d
 }
 
@@ -176,8 +242,9 @@ func (r *replica) mergeWire(h uint64, wire storage.Tuple) bool {
 		if !added {
 			return false
 		}
+		id := int32(r.set.Len() - 1)
 		for _, ix := range r.incIdx {
-			ix.add(view)
+			ix.add(id)
 		}
 		if r.consume {
 			r.delta = append(r.delta, view)

@@ -70,10 +70,15 @@ func TestExistCache(t *testing.T) {
 }
 
 func TestIncIndex(t *testing.T) {
-	ix := newIncIndex([]int{1})
-	ix.add(it(1, 10))
-	ix.add(it(2, 10))
-	ix.add(it(3, 11))
+	schema := storage.NewSchema("p",
+		storage.Column{Name: "a", Type: storage.TInt},
+		storage.Column{Name: "b", Type: storage.TInt})
+	set := storage.NewSetRelation(schema)
+	ix := newIncIndex([]int{1}, set)
+	for _, tu := range []storage.Tuple{it(1, 10), it(2, 10), it(3, 11)} {
+		set.Insert(tu)
+		ix.add(int32(set.Len() - 1))
+	}
 	var got []int64
 	ix.lookup([]storage.Value{storage.IntVal(10)}, func(tu storage.Tuple) bool {
 		got = append(got, tu[0].Int())

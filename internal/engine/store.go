@@ -47,6 +47,17 @@ func (s *relStore) lookup(name string, idx int, key []storage.Value, fn func(sto
 	}
 }
 
+// index returns the relation's i-th hash index (nil when the relation
+// is empty/unknown or the ordinal is out of range). The kernel resolves
+// indexes once at compile time and probes their buckets directly.
+func (s *relStore) index(name string, idx int) *storage.HashIndex {
+	ixs := s.indexes[name]
+	if idx < 0 || idx >= len(ixs) {
+		return nil
+	}
+	return ixs[idx]
+}
+
 // contains reports whether any tuple matches the key on the i-th index
 // (anti-join probe).
 func (s *relStore) contains(name string, idx int, key []storage.Value) bool {

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/coord"
-	"repro/internal/physical"
 	"repro/internal/queueing"
 	"repro/internal/storage"
 )
@@ -27,7 +26,12 @@ type worker struct {
 	arrivals []*queueing.ArrivalTracker
 	service  queueing.ServiceTracker
 
-	scratch map[*physical.Rule][]storage.Value
+	// baseKernels[i] executes run.st.BaseRules[i]; recKernels[pred][path]
+	// holds one kernel per delta variant in run.variants[pred][path].
+	// Kernels own their slot scratch and per-frame cursors, so the
+	// per-tuple path touches no maps and allocates nothing.
+	baseKernels []*kernel
+	recKernels  [][][]*kernel
 
 	// wireBufs[pred] is the reusable wire-tuple scratch emit writes
 	// derivations into before they are hashed and routed.
@@ -42,6 +46,14 @@ type worker struct {
 	selfWords []storage.Value
 	selfRefs  []selfRef
 
+	// flushPending queues out-batches that crossed flushCap rows while a
+	// kernel was executing; they are flushed at the next cursor-safe
+	// point (between kernel executions). Capping batch size keeps each
+	// batch's dedup table cache-resident and ships derivations to their
+	// consumers before the local iteration ends.
+	flushPending []flushKey
+	flushCap     int
+
 	localIters    int64
 	waitTime      time.Duration
 	merged        int64
@@ -54,6 +66,24 @@ type selfRef struct {
 	pred, path int32
 	off        int32
 	hash       uint64
+}
+
+// flushKey names one (destination, predicate, path) out-batch.
+type flushKey struct {
+	dest, pred, path int32
+}
+
+// flushPendingBatches sends every batch that crossed the row cap. Only
+// legal between kernel executions: flushBatch may gather (and therefore
+// merge into the replica trees) when a ring is full.
+func (w *worker) flushPendingBatches() {
+	for _, k := range w.flushPending {
+		b := w.outBufs[k.dest][k.pred][k.path]
+		if b.count > 0 {
+			w.flushBatch(int(k.dest), int(k.pred), int(k.path), b)
+		}
+	}
+	w.flushPending = w.flushPending[:0]
 }
 
 // drainSelf merges the buffered self-bound derivations and resets the
@@ -71,7 +101,10 @@ func (w *worker) drainSelf() {
 }
 
 func newWorker(run *stratumRun, id int) *worker {
-	w := &worker{id: id, run: run, scratch: make(map[*physical.Rule][]storage.Value)}
+	// Four frames' worth of rows per out-batch keeps the batch's dedup
+	// slot table small enough to stay cache-resident while preserving
+	// most of the within-iteration dedup scope.
+	w := &worker{id: id, run: run, flushCap: 4 * run.opts.BatchSize}
 	w.wireBufs = make([]storage.Tuple, len(run.st.Preds))
 	for pi := range run.st.Preds {
 		w.wireBufs[pi] = make(storage.Tuple, run.widths[pi])
@@ -102,8 +135,23 @@ func newWorker(run *stratumRun, id int) *worker {
 	for j := range w.arrivals {
 		w.arrivals[j] = &queueing.ArrivalTracker{}
 	}
-	for _, r := range append(append([]*physical.Rule(nil), run.st.BaseRules...), run.st.RecRules...) {
-		w.scratch[r] = make([]storage.Value, r.NumSlots)
+	// Compile every rule variant into this worker's cursor kernels
+	// (replicas must exist first: join frames resolve replica indexes
+	// and trees at construction).
+	w.baseKernels = make([]*kernel, len(run.st.BaseRules))
+	for i, r := range run.st.BaseRules {
+		w.baseKernels[i] = w.newKernel(r)
+	}
+	w.recKernels = make([][][]*kernel, len(run.variants))
+	for pi, paths := range run.variants {
+		w.recKernels[pi] = make([][]*kernel, len(paths))
+		for path, rules := range paths {
+			ks := make([]*kernel, len(rules))
+			for vi, r := range rules {
+				ks[vi] = w.newKernel(r)
+			}
+			w.recKernels[pi][path] = ks
+		}
 	}
 	return w
 }
@@ -154,18 +202,24 @@ func (w *worker) inboxNonEmpty() bool {
 // runBaseRules seeds the stratum: every worker evaluates a stripe of
 // each base rule's outer relation.
 func (w *worker) runBaseRules() {
-	for _, r := range w.run.st.BaseRules {
-		if r.Outer == nil {
+	for _, k := range w.baseKernels {
+		if k.outer == nil {
 			// Fact-style rule (conditions/lets only): one execution.
 			if w.id == 0 {
-				w.execOps(r, 0)
+				w.exec(k)
 			}
 			continue
 		}
-		tuples := w.run.store.scan(r.Outer.Pred)
+		tuples := w.run.store.scan(k.outer.Pred)
 		for i := w.id; i < len(tuples); i += w.run.n {
-			if w.bindOuter(r, tuples[i]) {
-				w.execOps(r, 0)
+			if k.bindOuter(tuples[i]) {
+				w.exec(k)
+			}
+			if len(w.selfWords) >= selfDrainWords {
+				w.drainSelf()
+			}
+			if len(w.flushPending) > 0 {
+				w.flushPendingBatches()
 			}
 		}
 	}
@@ -288,8 +342,30 @@ func (w *worker) sspGate() {
 	}
 }
 
+// deltaBlock is the number of outer delta tuples one rule variant binds
+// before the next variant runs. Processing block-at-a-time keeps one
+// kernel's frames, cursors and index nodes hot in cache across the
+// whole block instead of touching every variant's working set per
+// tuple; the block itself stays small enough to sit in L1/L2.
+const deltaBlock = 256
+
+// selfDrainWords bounds the self-pending arena. Left unchecked, one
+// local iteration of a dense aggregate workload buffers every self-bound
+// derivation until the iteration ends — tens of MB of doubling churn —
+// and merges improved aggregates only after the whole delta is
+// evaluated. Draining once the buffer passes this threshold keeps it
+// cache-sized and makes better aggregate values visible to later probes
+// of the same iteration, which coalesces away derivations that are
+// already stale. Draining is only legal between kernel executions: no
+// cursor is live then, so the replica trees may mutate. Merging early
+// is monotone — a tuple merged now instead of at the iteration's end
+// can only suppress derivations that dedup would discard anyway.
+const selfDrainWords = 1 << 15
+
 // iterate runs one local iteration: evaluate every pending delta tuple
-// through its variants, then distribute the derivations.
+// through its variants, then distribute the derivations. The delta is
+// processed in blocks — for each block, every variant kernel drives all
+// its join levels over the whole block before the next variant starts.
 func (w *worker) iterate() {
 	start := time.Now()
 	processed := 0
@@ -306,18 +382,31 @@ func (w *worker) iterate() {
 				w.droppedDeltas = true
 				continue
 			}
-			variants := w.run.variants[pi][path]
-			for ti, t := range delta {
-				// Re-check the tuple budget periodically: diverging
+			kernels := w.recKernels[pi][path]
+			for lo := 0; lo < len(delta); lo += deltaBlock {
+				// Re-check the tuple budget per block: diverging
 				// programs can explode inside a single iteration.
-				if w.run.opts.MaxTuples > 0 && ti%64 == 0 &&
+				if w.run.opts.MaxTuples > 0 &&
 					w.run.det.Produced() > w.run.opts.MaxTuples {
 					w.droppedDeltas = true
 					break
 				}
-				for _, r := range variants {
-					if w.bindOuter(r, t) {
-						w.execOps(r, 0)
+				hi := lo + deltaBlock
+				if hi > len(delta) {
+					hi = len(delta)
+				}
+				block := delta[lo:hi]
+				for _, k := range kernels {
+					for _, t := range block {
+						if k.bindOuter(t) {
+							w.exec(k)
+						}
+						if len(w.selfWords) >= selfDrainWords {
+							w.drainSelf()
+						}
+						if len(w.flushPending) > 0 {
+							w.flushPendingBatches()
+						}
 					}
 				}
 			}

@@ -171,6 +171,17 @@ type Rule struct {
 	// recursive variant; OuterPredIdx is -1 for base rules.
 	OuterPredIdx int
 	OuterPathIdx int
+	// LastJoin is the index of the deepest OpJoin in Ops (-1 when the
+	// rule has none) and PrevJoin[i] the nearest OpJoin strictly before
+	// op i (-1 when none). The engine's iterative kernel backtracks
+	// through these instead of unwinding a call stack: when op i fails
+	// or the head emits, control jumps straight to the join frame whose
+	// cursor can produce the next match.
+	LastJoin int
+	PrevJoin []int
+	// MaxKeyLen is the widest probe key over all accesses, so the
+	// executor can size per-frame key scratch once.
+	MaxKeyLen int
 }
 
 // Compile lowers a logical plan with concrete parameter bindings.
@@ -312,7 +323,30 @@ func (prog *Program) compileRule(st *Stratum, rp *plan.RulePlan) (*Rule, error) 
 	}
 	r.Head = *head
 	r.NumSlots = c.numSlots
+	r.finalize()
 	return r, nil
+}
+
+// finalize computes the flat-kernel metadata: backtracking targets per
+// op and the widest probe key.
+func (r *Rule) finalize() {
+	r.PrevJoin = make([]int, len(r.Ops))
+	last := -1
+	maxKey := 0
+	if r.Outer != nil && len(r.Outer.KeySrcs) > maxKey {
+		maxKey = len(r.Outer.KeySrcs)
+	}
+	for i := range r.Ops {
+		r.PrevJoin[i] = last
+		if r.Ops[i].Kind == OpJoin {
+			last = i
+		}
+		if acc := r.Ops[i].Access; acc != nil && len(acc.KeySrcs) > maxKey {
+			maxKey = len(acc.KeySrcs)
+		}
+	}
+	r.LastJoin = last
+	r.MaxKeyLen = maxKey
 }
 
 // compileAccess lowers one atom into an Access. For the outer (isOuter)

@@ -7,10 +7,18 @@ package storage
 // instead of moving old data. This is what makes SetRelation snapshots
 // and delta views stable across later inserts, and it collapses the
 // engine's per-tuple allocations into one bulk allocation per chunk.
+//
+// The arena keeps every chunk it has ever opened, so a block can be
+// named by the pointer-free pair (chunk index, word offset) — an
+// arenaRef — instead of a Tuple header. Bulk containers (the set
+// relation's view list, the engine's incremental join index) store
+// 8-byte refs in place of 24-byte slice headers, which both shrinks
+// them and leaves nothing for the garbage collector to scan: Value is
+// word-sized, so the chunks themselves are pointer-free too.
 type tupleArena struct {
-	cur      []Value // active chunk; len = used, cap = chunk size
-	chunkCap int     // size of the most recently allocated chunk
-	words    int     // total words handed out (stats)
+	chunks   [][]Value // all chunks in allocation order; last is active
+	chunkCap int       // size of the most recently allocated chunk
+	words    int       // total words handed out (stats)
 }
 
 const (
@@ -18,11 +26,29 @@ const (
 	arenaMaxChunk = 1 << 16 // 64 K words = 512 KiB
 )
 
-// alloc returns a block of n values. The block is full-sliced
-// (len == cap) so appends by a confused caller cannot clobber
-// neighbouring tuples.
-func (a *tupleArena) alloc(n int) []Value {
-	if cap(a.cur)-len(a.cur) < n {
+// arenaRef names an arena block without a pointer: chunk index in the
+// high 32 bits, word offset in the low 32. Chunks are capped at
+// arenaMaxChunk words, so the offset always fits.
+type arenaRef uint64
+
+func makeRef(chunk, off int) arenaRef { return arenaRef(chunk)<<32 | arenaRef(off) }
+
+// tuple reconstructs a block as a full-sliced Tuple of width w. It is
+// a slice expression into the chunk — no allocation.
+func (a *tupleArena) tuple(r arenaRef, w int) Tuple {
+	off := int(r & 0xffffffff)
+	return Tuple(a.chunks[r>>32][off : off+w : off+w])
+}
+
+// alloc returns a block of n values and its ref. The block is
+// full-sliced (len == cap) so appends by a confused caller cannot
+// clobber neighbouring tuples.
+func (a *tupleArena) alloc(n int) ([]Value, arenaRef) {
+	var cur []Value
+	if len(a.chunks) > 0 {
+		cur = a.chunks[len(a.chunks)-1]
+	}
+	if cap(cur)-len(cur) < n {
 		size := a.chunkCap * 2
 		if size < arenaMinChunk {
 			size = arenaMinChunk
@@ -33,13 +59,14 @@ func (a *tupleArena) alloc(n int) []Value {
 		for size < n {
 			size *= 2
 		}
-		// The retiring chunk stays alive through the views that point
-		// into it; the arena itself only tracks the active one.
 		a.chunkCap = size
-		a.cur = make([]Value, 0, size)
+		cur = make([]Value, 0, size)
+		a.chunks = append(a.chunks, cur)
 	}
-	off := len(a.cur)
-	a.cur = a.cur[:off+n]
+	ci := len(a.chunks) - 1
+	off := len(cur)
+	cur = cur[:off+n]
+	a.chunks[ci] = cur
 	a.words += n
-	return a.cur[off : off+n : off+n]
+	return cur[off : off+n : off+n], makeRef(ci, off)
 }

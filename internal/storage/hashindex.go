@@ -11,14 +11,29 @@ type HashIndex struct {
 }
 
 // NewHashIndex builds an index over tuples on the given key columns.
+// The tuples are repacked into one flat arena in bucket order, so a
+// probe walks its candidates through contiguous memory instead of
+// chasing per-tuple heap pointers — base-relation buckets are the
+// hottest random reads in the join kernel.
 func NewHashIndex(tuples []Tuple, keyCols []int) *HashIndex {
 	idx := &HashIndex{
 		keyCols: keyCols,
 		buckets: make(map[uint64][]Tuple, len(tuples)),
 	}
+	words := 0
 	for _, t := range tuples {
 		h := t.HashOn(keyCols)
 		idx.buckets[h] = append(idx.buckets[h], t)
+		words += len(t)
+	}
+	arena := make([]Value, 0, words)
+	for h, bucket := range idx.buckets {
+		for i, t := range bucket {
+			off := len(arena)
+			arena = append(arena, t...)
+			bucket[i] = Tuple(arena[off:len(arena):len(arena)])
+		}
+		idx.buckets[h] = bucket
 	}
 	return idx
 }
@@ -42,6 +57,26 @@ func (idx *HashIndex) Lookup(key []Value, fn func(Tuple) bool) {
 			return
 		}
 	}
+}
+
+// Bucket returns the candidate tuples sharing key's bucket without
+// filtering: hash collisions may remain, so callers must still compare
+// the key columns (see MatchesKey). It exists for cursor-driven
+// executors that walk matches inline instead of re-entering a callback
+// per tuple; the returned slice aliases the index and must not be
+// mutated.
+func (idx *HashIndex) Bucket(key []Value) []Tuple {
+	return idx.buckets[HashValues(key)]
+}
+
+// MatchesKey reports whether t's key columns equal key.
+func (idx *HashIndex) MatchesKey(t Tuple, key []Value) bool {
+	for i, c := range idx.keyCols {
+		if t[c] != key[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // LookupAll collects the matches for key into a fresh slice.

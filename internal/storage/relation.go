@@ -25,38 +25,54 @@ type Relation interface {
 // iteration. It backs recursive predicates with set semantics such as
 // tc and sg.
 //
-// Layout: tuple words live in an append-only chunked arena; views holds
-// one stable Tuple header per distinct tuple, in insertion order; the
-// full-tuple hash of every stored tuple is cached next to its slot; and
-// membership is resolved through an open-addressed, power-of-two,
-// insert-only hash table of view indexes (linear probing, no
-// tombstones). Inserts copy the incoming tuple into the arena, so
-// callers may reuse their buffers, and steady-state inserts perform no
-// per-tuple allocation.
+// Layout: tuple words live in an append-only chunked arena, all at the
+// schema's fixed width; views holds one 8-byte arena ref per distinct
+// tuple, in insertion order; and membership is resolved through an
+// open-addressed, power-of-two, insert-only hash table (linear probing,
+// no tombstones) whose slots carry the stored tuple's full 64-bit hash
+// inline, so probe collisions and duplicate confirmations resolve with
+// one slot load before any tuple words are touched. Every hot array —
+// refs, slots, and the word chunks themselves — is pointer-free, so a
+// relation holding millions of tuples gives the garbage collector
+// nothing to scan and append growth nothing to memclr beyond 8 bytes
+// per tuple. Inserts copy the incoming tuple into the arena, so callers
+// may reuse their buffers, and steady-state inserts perform no
+// per-tuple allocation; tuple views handed out by At and InsertHashed
+// are reconstructed slice headers into the arena, stable for the
+// relation's lifetime.
 type SetRelation struct {
 	schema *Schema
+	width  int
 	arena  tupleArena
-	views  []Tuple  // insertion order; each aliases arena memory
-	hashes []uint64 // cached full-tuple hash per view
-	table  []int32  // open-addressed slot -> view index, -1 = empty
+	views  []arenaRef // insertion order; each names arena memory
+	table  []setSlot  // open-addressed; idx < 0 = empty
 	mask   uint64
+}
+
+// setSlot is one membership-table entry: the view index plus its cached
+// full-tuple hash.
+type setSlot struct {
+	hash uint64
+	idx  int32
 }
 
 const setMinTable = 16
 
-// NewSetRelation returns an empty set relation over the schema.
+// NewSetRelation returns an empty set relation over the schema. All
+// inserted tuples must have the schema's arity.
 func NewSetRelation(schema *Schema) *SetRelation {
 	return &SetRelation{
 		schema: schema,
+		width:  schema.Arity(),
 		table:  newSlotTable(setMinTable),
 		mask:   setMinTable - 1,
 	}
 }
 
-func newSlotTable(n int) []int32 {
-	t := make([]int32, n)
+func newSlotTable(n int) []setSlot {
+	t := make([]setSlot, n)
 	for i := range t {
-		t[i] = -1
+		t[i].idx = -1
 	}
 	return t
 }
@@ -82,37 +98,41 @@ func (r *SetRelation) Insert(t Tuple) bool {
 func (r *SetRelation) InsertHashed(h uint64, t Tuple) (Tuple, bool) {
 	slot := h & r.mask
 	for {
-		idx := r.table[slot]
-		if idx < 0 {
+		s := r.table[slot]
+		if s.idx < 0 {
 			break
 		}
-		if r.hashes[idx] == h && r.views[idx].Equal(t) {
-			return r.views[idx], false
+		if s.hash == h {
+			if view := r.arena.tuple(r.views[s.idx], r.width); view.Equal(t) {
+				return view, false
+			}
 		}
 		slot = (slot + 1) & r.mask
 	}
-	view := Tuple(r.arena.alloc(len(t)))
-	copy(view, t)
-	r.table[slot] = int32(len(r.views))
-	r.views = append(r.views, view)
-	r.hashes = append(r.hashes, h)
+	block, ref := r.arena.alloc(r.width)
+	copy(block, t)
+	r.table[slot] = setSlot{hash: h, idx: int32(len(r.views))}
+	r.views = append(r.views, ref)
 	if uint64(len(r.views))*4 > uint64(len(r.table))*3 {
 		r.grow()
 	}
-	return view, true
+	return Tuple(block), true
 }
 
-// grow doubles the slot table, rehousing every view by its cached hash
+// grow doubles the slot table, rehousing every entry by its cached hash
 // (tuples are never re-hashed).
 func (r *SetRelation) grow() {
 	table := newSlotTable(2 * len(r.table))
 	mask := uint64(len(table) - 1)
-	for idx, h := range r.hashes {
-		slot := h & mask
-		for table[slot] >= 0 {
+	for _, s := range r.table {
+		if s.idx < 0 {
+			continue
+		}
+		slot := s.hash & mask
+		for table[slot].idx >= 0 {
 			slot = (slot + 1) & mask
 		}
-		table[slot] = int32(idx)
+		table[slot] = s
 	}
 	r.table = table
 	r.mask = mask
@@ -127,24 +147,25 @@ func (r *SetRelation) Contains(t Tuple) bool {
 func (r *SetRelation) ContainsHashed(h uint64, t Tuple) bool {
 	slot := h & r.mask
 	for {
-		idx := r.table[slot]
-		if idx < 0 {
+		s := r.table[slot]
+		if s.idx < 0 {
 			return false
 		}
-		if r.hashes[idx] == h && r.views[idx].Equal(t) {
+		if s.hash == h && r.arena.tuple(r.views[s.idx], r.width).Equal(t) {
 			return true
 		}
 		slot = (slot + 1) & r.mask
 	}
 }
 
-// At returns the i-th inserted tuple as its stable arena view.
-func (r *SetRelation) At(i int) Tuple { return r.views[i] }
+// At returns the i-th inserted tuple as its stable arena view. The
+// header is reconstructed from the packed ref — no allocation.
+func (r *SetRelation) At(i int) Tuple { return r.arena.tuple(r.views[i], r.width) }
 
 // ForEach implements Relation.
 func (r *SetRelation) ForEach(fn func(Tuple) bool) {
-	for _, t := range r.views {
-		if !fn(t) {
+	for _, ref := range r.views {
+		if !fn(r.arena.tuple(ref, r.width)) {
 			return
 		}
 	}
@@ -155,6 +176,12 @@ func (r *SetRelation) ForEach(fn func(Tuple) bool) {
 // taken at any point stays valid — same length, same contents — no
 // matter how many inserts (including table growth and new arena
 // chunks) happen afterwards. Callers must not mutate the tuples.
+// Building the header slice allocates, so hot paths should iterate with
+// Len/At or ForEach instead.
 func (r *SetRelation) Snapshot() []Tuple {
-	return r.views[:len(r.views):len(r.views)]
+	out := make([]Tuple, len(r.views))
+	for i, ref := range r.views {
+		out[i] = r.arena.tuple(ref, r.width)
+	}
+	return out
 }
