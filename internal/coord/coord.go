@@ -85,61 +85,6 @@ func (b *Barrier) Wait(flag bool) bool {
 	return b.out
 }
 
-// Detector implements the asynchronous termination check of §6.1: a
-// global produced-tuple counter, per-worker consumption folded into one
-// consumed counter, and an inactive-worker count. The global fixpoint
-// is reached when every worker is inactive and produced == consumed.
-type Detector struct {
-	n        int32
-	produced atomic.Int64
-	consumed atomic.Int64
-	inactive atomic.Int32
-	done     atomic.Bool
-}
-
-// NewDetector returns a detector for n workers, all initially active.
-func NewDetector(n int) *Detector {
-	return &Detector{n: int32(n)}
-}
-
-// Produce records k tuples sent into some worker's buffer. It must be
-// called before the tuples are enqueued so that produced ≥ consumed
-// always holds for in-flight work.
-func (d *Detector) Produce(k int) { d.produced.Add(int64(k)) }
-
-// Consume records k tuples drained from buffers.
-func (d *Detector) Consume(k int) { d.consumed.Add(int64(k)) }
-
-// SetInactive marks one worker idle (empty delta, empty buffers).
-func (d *Detector) SetInactive() { d.inactive.Add(1) }
-
-// SetActive marks an idle worker busy again.
-func (d *Detector) SetActive() { d.inactive.Add(-1) }
-
-// TryFinish declares the global fixpoint if every worker is inactive
-// and no tuple is in flight; it returns the final done state.
-func (d *Detector) TryFinish() bool {
-	if d.done.Load() {
-		return true
-	}
-	if d.inactive.Load() == d.n && d.produced.Load() == d.consumed.Load() {
-		// Re-check inactivity after reading the counters: a worker
-		// reactivated in between would have consumed first, keeping
-		// the counters unequal on the next call.
-		if d.inactive.Load() == d.n {
-			d.done.Store(true)
-			return true
-		}
-	}
-	return false
-}
-
-// Done reports whether the global fixpoint has been declared.
-func (d *Detector) Done() bool { return d.done.Load() }
-
-// Produced returns the cumulative produced-tuple count (for stats).
-func (d *Detector) Produced() int64 { return d.produced.Load() }
-
 // Clock tracks per-worker local iteration counts for the SSP bound:
 // worker w may start its next iteration only while it is at most Slack
 // iterations ahead of the slowest non-parked worker. Parked workers

@@ -72,43 +72,6 @@ func TestBarrierFlagOR(t *testing.T) {
 	}
 }
 
-func TestDetectorBasicLifecycle(t *testing.T) {
-	d := NewDetector(2)
-	if d.TryFinish() {
-		t.Fatal("active workers should block termination")
-	}
-	d.Produce(5)
-	d.SetInactive()
-	d.SetInactive()
-	if d.TryFinish() {
-		t.Fatal("in-flight tuples should block termination")
-	}
-	d.Consume(5)
-	if !d.TryFinish() || !d.Done() {
-		t.Fatal("all inactive + drained should terminate")
-	}
-}
-
-func TestDetectorReactivation(t *testing.T) {
-	d := NewDetector(2)
-	d.SetInactive()
-	d.Produce(1)
-	// Worker 2 wakes up to process the tuple.
-	d.SetInactive()
-	d.SetActive()
-	d.Consume(1)
-	if d.TryFinish() {
-		t.Fatal("one active worker should block termination")
-	}
-	d.SetInactive()
-	if !d.TryFinish() {
-		t.Fatal("should terminate after final park")
-	}
-	if d.Produced() != 1 {
-		t.Fatalf("produced = %d", d.Produced())
-	}
-}
-
 func TestClockSlack(t *testing.T) {
 	c := NewClock(3, 2)
 	if !c.MayProceed(0) {

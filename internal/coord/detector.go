@@ -1,0 +1,139 @@
+package coord
+
+import "sync/atomic"
+
+// detShard is one worker's private slice of the fixpoint detector's
+// state. Every field is written by exactly one worker; TryFinish (any
+// caller) only reads. The shard is padded to two cache lines so that a
+// worker bumping its produced counter never invalidates a line another
+// worker's counters live on — with the old process-wide counters, every
+// flushed or drained frame forced a cross-core exchange of the same two
+// lines.
+type detShard struct {
+	// produced counts tuples this worker has sent into other workers'
+	// buffers (recorded before the enqueue, so for true totals
+	// produced ≥ consumed always holds).
+	produced atomic.Int64
+	// consumed counts tuples this worker has drained from its buffers.
+	consumed atomic.Int64
+	// state is the worker's activity epoch: even = active, odd =
+	// parked. Every transition increments it, so the epoch is strictly
+	// monotone and an unchanged epoch between two reads proves the
+	// worker made no transition — and therefore, by the engine's
+	// discipline that Produce/Consume happen only while active, that
+	// the shard's counters were frozen in between.
+	state atomic.Uint64
+
+	_ [104]byte // pad the shard to 128 B (2 lines: no false sharing, no adjacent-line prefetch traffic)
+}
+
+// Detector implements the asynchronous termination check of §6.1 with
+// worker-local state: per-worker padded (produced, consumed, epoch)
+// shards replace the global counters, so the steady-state cost of
+// recording a flushed or drained frame is an uncontended RMW on the
+// worker's own cache line. The global fixpoint is reached when every
+// worker is parked and every produced tuple has been consumed.
+type Detector struct {
+	done   atomic.Bool
+	shards []detShard
+}
+
+// NewDetector returns a detector for n workers, all initially active
+// (epoch 0).
+func NewDetector(n int) *Detector {
+	return &Detector{shards: make([]detShard, n)}
+}
+
+// Workers returns the number of worker shards.
+func (d *Detector) Workers() int { return len(d.shards) }
+
+// Produce records k tuples worker w sent into some other worker's
+// buffer. It must be called before the tuples are enqueued so that
+// true-produced ≥ true-consumed always holds for in-flight work, and
+// only while w is active.
+func (d *Detector) Produce(w, k int) { d.shards[w].produced.Add(int64(k)) }
+
+// Consume records k tuples worker w drained from its buffers. It must
+// only be called while w is active (SetActive precedes the drain).
+func (d *Detector) Consume(w, k int) { d.shards[w].consumed.Add(int64(k)) }
+
+// SetInactive marks worker w idle (empty delta, empty buffers). The
+// worker must currently be active.
+func (d *Detector) SetInactive(w int) { d.shards[w].state.Add(1) }
+
+// SetActive marks the idle worker w busy again. It must precede any
+// Consume or Produce call of the new activity period.
+func (d *Detector) SetActive(w int) { d.shards[w].state.Add(1) }
+
+// TryFinish declares the global fixpoint if every worker is parked and
+// no tuple is in flight; it returns the final done state.
+//
+// Why the double scan is sound: epochs are strictly monotone, so the
+// two scans summing to the same value means every worker's epoch was
+// unchanged — each worker was parked for the whole window between its
+// first-scan read and its second-scan read, a window that covers every
+// counter read in the middle. Produce/Consume are only called while
+// active, so every shard's counters were frozen while we read them:
+// the produced and consumed sums are exact totals at a single common
+// instant. Their equality means no tuple was in flight at that
+// instant, and a parked worker holds no pending delta, so nothing can
+// ever produce again — the fixpoint is permanent. Without the epoch
+// freeze there is a real race: a worker can wake, consume, produce and
+// re-park entirely between the produced read and the consumed read,
+// making stale sums look equal while its derivations sit unconsumed.
+func (d *Detector) TryFinish() bool {
+	if d.done.Load() {
+		return true
+	}
+	var sum1 uint64
+	for i := range d.shards {
+		s := d.shards[i].state.Load()
+		if s&1 == 0 {
+			return false // worker i is active
+		}
+		sum1 += s
+	}
+	var produced, consumed int64
+	for i := range d.shards {
+		consumed += d.shards[i].consumed.Load()
+		produced += d.shards[i].produced.Load()
+	}
+	if produced != consumed {
+		return false
+	}
+	var sum2 uint64
+	for i := range d.shards {
+		s := d.shards[i].state.Load()
+		if s&1 == 0 {
+			return false
+		}
+		sum2 += s
+	}
+	if sum1 != sum2 {
+		return false // some worker transitioned mid-check
+	}
+	d.done.Store(true)
+	return true
+}
+
+// Done reports whether the global fixpoint has been declared.
+func (d *Detector) Done() bool { return d.done.Load() }
+
+// Produced returns the cumulative produced-tuple count (for stats).
+func (d *Detector) Produced() int64 {
+	var n int64
+	for i := range d.shards {
+		n += d.shards[i].produced.Load()
+	}
+	return n
+}
+
+// Consumed returns the cumulative consumed-tuple count (for tests and
+// stats).
+func (d *Detector) Consumed() int64 {
+	var n int64
+	for i := range d.shards {
+		n += d.shards[i].consumed.Load()
+	}
+	return n
+}

@@ -1,0 +1,90 @@
+package coord
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Inbox is one consumer's wakeup bitmap over its n producers: bit j is
+// set when producer j may have pushed into the consumer's ring M^j
+// since the consumer last looked. It replaces the O(n) scan of every
+// inbox ring (2n cache lines, most of them owned by other cores) with
+// a load of one word — and lets a parked worker spin on that single
+// word instead of walking all its rings.
+//
+// The protocol that makes wakeups lossless with only a conditional
+// read-mostly flag write on the producer side:
+//
+//   - producer: push the frame into the ring FIRST, then set the bit —
+//     but only if a load sees it clear;
+//   - consumer: swap the word to zero FIRST, then drain the flagged
+//     rings.
+//
+// If the producer's load sees the bit set, either the consumer has not
+// swapped yet (the standing bit covers the new frame), or — because
+// the swap and the load hit the same atomic word and Go atomics are
+// sequentially consistent — the swap ordered after the load, which
+// ordered after the push, so the consumer's subsequent ring drain must
+// observe the frame. Either way nothing is stranded; in steady state a
+// busy consumer's bit stays set and producers only perform shared
+// reads of it, causing no coherence traffic at all.
+type Inbox struct {
+	words []atomic.Uint64
+}
+
+// NewInbox returns an inbox bitmap for n producers. The backing array
+// is rounded up to whole cache lines so two consumers' bitmaps never
+// share a line.
+func NewInbox(n int) *Inbox {
+	nw := (n + 63) / 64
+	if nw == 0 {
+		nw = 1
+	}
+	padded := (nw + 7) &^ 7
+	return &Inbox{words: make([]atomic.Uint64, padded)[:nw]}
+}
+
+// Set flags producer j. Call only after the corresponding ring push
+// has completed.
+func (b *Inbox) Set(j int) {
+	w, bit := j>>6, uint64(1)<<(uint(j)&63)
+	for {
+		old := b.words[w].Load()
+		if old&bit != 0 {
+			return // steady state: shared read only
+		}
+		// CAS loop instead of Uint64.Or to keep the module's go1.22
+		// floor; contention is rare because the bit is usually set.
+		if b.words[w].CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
+}
+
+// Any reports whether any producer is flagged. For n ≤ 64 this is a
+// single shared load — the word a parked worker spins on.
+func (b *Inbox) Any() bool {
+	for i := range b.words {
+		if b.words[i].Load() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Drain atomically claims the flagged producers and visits each one.
+// The caller must scan producer j's ring to empty when visited; frames
+// pushed concurrently re-flag the bit for the next Drain.
+func (b *Inbox) Drain(visit func(j int)) {
+	for i := range b.words {
+		if b.words[i].Load() == 0 {
+			continue
+		}
+		s := b.words[i].Swap(0)
+		for s != 0 {
+			j := bits.TrailingZeros64(s)
+			s &= s - 1
+			visit(i<<6 + j)
+		}
+	}
+}

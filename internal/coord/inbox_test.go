@@ -1,0 +1,94 @@
+package coord
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestInboxSetDrain(t *testing.T) {
+	b := NewInbox(16)
+	if b.Any() {
+		t.Fatal("fresh inbox should be empty")
+	}
+	b.Set(3)
+	b.Set(11)
+	b.Set(3) // idempotent
+	if !b.Any() {
+		t.Fatal("Any should see flagged producers")
+	}
+	var got []int
+	b.Drain(func(j int) { got = append(got, j) })
+	if len(got) != 2 || got[0] != 3 || got[1] != 11 {
+		t.Fatalf("Drain visited %v, want [3 11]", got)
+	}
+	if b.Any() {
+		t.Fatal("Drain should clear the bitmap")
+	}
+	b.Drain(func(j int) { t.Fatalf("unexpected visit of %d", j) })
+}
+
+func TestInboxMultiWord(t *testing.T) {
+	const n = 130 // three words
+	b := NewInbox(n)
+	want := []int{0, 63, 64, 127, 128, 129}
+	for _, j := range want {
+		b.Set(j)
+	}
+	var got []int
+	b.Drain(func(j int) { got = append(got, j) })
+	if len(got) != len(want) {
+		t.Fatalf("Drain visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Drain visited %v, want %v", got, want)
+		}
+	}
+}
+
+// TestInboxNoLostWakeup is the protocol test: producers "push" by
+// bumping a per-producer pending counter then calling Set (push before
+// flag), the consumer drains by swapping the bitmap then collecting
+// flagged counters (flag before scan). Every produced unit must be
+// collected — a lost wakeup would strand units and hang the loop.
+func TestInboxNoLostWakeup(t *testing.T) {
+	const producers = 8
+	const perProducer = 20000
+	b := NewInbox(producers)
+	pending := make([]atomic.Int64, producers)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < perProducer; k++ {
+				pending[p].Add(1) // the "ring push"
+				b.Set(p)
+			}
+		}(p)
+	}
+
+	collected := int64(0)
+	for collected < producers*perProducer {
+		if !b.Any() {
+			runtime.Gosched()
+			continue
+		}
+		b.Drain(func(j int) {
+			collected += pending[j].Swap(0) // the "ring drain"
+		})
+	}
+	wg.Wait()
+	// Residue check: all bits that matter were observed.
+	b.Drain(func(j int) {
+		if v := pending[j].Load(); v != 0 {
+			t.Errorf("producer %d left %d units stranded", j, v)
+		}
+	})
+	if collected != producers*perProducer {
+		t.Fatalf("collected %d, want %d", collected, producers*perProducer)
+	}
+}

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"runtime"
-	"time"
 
 	"repro/internal/physical"
 	"repro/internal/storage"
@@ -219,19 +218,28 @@ func sameKey(a, b storage.Tuple, agg storage.AggKind, keyCols []int) bool {
 // gathering into the replicas is safe.
 func (w *worker) flushBatch(dest, predIdx, pathIdx int, b *outBatch) {
 	q := w.run.queues[dest][w.id]
+	inbox := w.run.inboxes[dest]
+	// One clock refresh stamps the whole batch (the old code read
+	// time.Now() per frame). Refreshing rather than reading matters for
+	// the DWS statistics: frames flushed by one iteration would
+	// otherwise share a stamp, and the arrival trackers skip zero gaps —
+	// the consumer's λ estimate collapsed onto one sample per producer
+	// iteration and the gates mis-sized ω, measurably slowing the
+	// coordination-bound trajectory cells.
+	sentAt := w.run.clk.Refresh()
 	for start := 0; start < b.count; {
 		n := w.run.opts.BatchSize
 		if n > b.count-start {
 			n = b.count - start
 		}
-		f := w.run.getFrame(b.width, n)
+		f := w.getFrame(b.width, n)
 		f.pred = int32(predIdx)
 		f.path = int32(pathIdx)
-		f.sentAt = time.Now().UnixNano()
+		f.sentAt = sentAt
 		copy(f.hashes, b.hashes[start:start+n])
 		copy(f.words, b.words[start*b.width:(start+n)*b.width])
 		start += n
-		w.run.det.Produce(n)
+		w.run.det.Produce(w.id, n)
 		for !q.TryPush(f) {
 			// Draining our own inbox here is what prevents the cycle
 			// "every ring full, every producer blocked". Under the
@@ -241,6 +249,11 @@ func (w *worker) flushBatch(dest, predIdx, pathIdx int, b *outBatch) {
 			w.gather()
 			runtime.Gosched()
 		}
+		// Flag the consumer's bitmap strictly after the push lands: the
+		// consumer swaps the word to zero before scanning, so this order
+		// guarantees the frame is either seen by the in-progress drain or
+		// re-flagged for the next one — never silently stranded.
+		inbox.Set(w.id)
 	}
 	b.reset()
 }

@@ -23,8 +23,10 @@ import (
 // words[i*width:(i+1)*width]) with the wire hash of every row alongside
 // — the full-tuple hash for set semantics, the group-key hash for
 // aggregates — so the receiver merges without re-hashing. Frames are
-// pooled: a consumer returns each drained frame to the run's free list,
-// making the steady-state exchange path allocation-free.
+// recycled producer-locally: a consumer returns each drained frame to
+// the worker that sized it through a per-edge SPSC recycle ring, so the
+// steady-state exchange path allocates nothing and no shared pool mutex
+// or GC-emptied sync.Pool sits on the hot path.
 type frame struct {
 	pred   int32
 	path   int32
@@ -88,15 +90,25 @@ type stratumRun struct {
 
 	// queues[consumer][producer] is the SPSC ring M_consumer^producer.
 	queues [][]*spsc.Queue[*frame]
-	det    *coord.Detector
-	bar    *coord.Barrier
-	clock  *coord.Clock
+	// inboxes[consumer] is the wakeup bitmap over that consumer's
+	// rings: bit j set means ring M_consumer^j may hold frames, so
+	// gather visits only flagged rings and park spins on one word.
+	inboxes []*coord.Inbox
+	// recycle[owner][peer] is the SPSC ring through which consumer
+	// `peer` hands drained frames back to the worker that sized them.
+	recycle [][]*spsc.Queue[*frame]
+	det     *coord.Detector
+	bar     *coord.Barrier
+	clock   *coord.Clock
+	// clk is the engine-wide coarse clock: refreshed at iteration
+	// boundaries and backoff sleeps, read everywhere a timestamp used
+	// to cost a time.Now() syscall (frame sentAt stamps, gate
+	// deadlines, wait accounting).
+	clk *coord.CoarseClock
 
 	// widths[pred] is the wire-tuple width of the predicate (full arity
 	// for sets; group+value / group+contributor layouts for aggregates).
 	widths []int
-	// framePool recycles exchange frames across all workers.
-	framePool sync.Pool
 
 	// variants[pred][path] lists the delta variants driven by that
 	// replica's deltas.
@@ -125,32 +137,6 @@ func wireWidth(p *physical.Pred) int {
 	}
 }
 
-// getFrame returns a pooled frame sized for n rows of the given width.
-func (run *stratumRun) getFrame(width, n int) *frame {
-	f, _ := run.framePool.Get().(*frame)
-	if f == nil {
-		f = &frame{}
-	}
-	if cap(f.hashes) < n {
-		f.hashes = make([]uint64, n)
-	}
-	if cap(f.words) < n*width {
-		f.words = make([]storage.Value, n*width)
-	}
-	f.hashes = f.hashes[:n]
-	f.words = f.words[:n*width]
-	f.width = int32(width)
-	f.count = int32(n)
-	return f
-}
-
-// putFrame returns a drained frame to the pool. The caller must not
-// touch the frame (or views into it) afterwards.
-func (run *stratumRun) putFrame(f *frame) {
-	f.count = 0
-	run.framePool.Put(f)
-}
-
 func (run *stratumRun) fail(err error) {
 	run.errMu.Lock()
 	if run.err == nil {
@@ -170,16 +156,30 @@ func runStratum(prog *physical.Program, st *physical.Stratum, store *relStore, o
 		det:   coord.NewDetector(n),
 		bar:   coord.NewBarrier(n),
 		clock: coord.NewClock(n, opts.Slack),
+		clk:   coord.NewCoarseClock(),
 		types: make(map[string][]storage.Type),
 	}
 	begin := time.Now()
 
+	// Recycle rings only need to hold frames awaiting reuse, not the
+	// full data-ring backlog; overflow drops to the GC, so a small ring
+	// keeps steady-state reuse while not doubling the n² ring memory
+	// zeroed at every stratum start.
+	recycleCap := opts.QueueCap / 16
+	if recycleCap < 64 {
+		recycleCap = 64
+	}
 	run.queues = make([][]*spsc.Queue[*frame], n)
+	run.inboxes = make([]*coord.Inbox, n)
+	run.recycle = make([][]*spsc.Queue[*frame], n)
 	for i := range run.queues {
 		run.queues[i] = make([]*spsc.Queue[*frame], n)
+		run.inboxes[i] = coord.NewInbox(n)
+		run.recycle[i] = make([]*spsc.Queue[*frame], n)
 		for j := range run.queues[i] {
 			if i != j {
 				run.queues[i][j] = spsc.New[*frame](opts.QueueCap)
+				run.recycle[i][j] = spsc.New[*frame](recycleCap)
 			}
 		}
 	}

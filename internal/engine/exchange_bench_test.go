@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/coord"
+	"repro/internal/spsc"
+	"repro/internal/storage"
+)
+
+// benchExchangeRun builds the bare exchange plane — rings, inboxes,
+// recycle rings — for n workers without compiling a program. getFrame,
+// recycleFrame and an empty gather only touch these fields, so the
+// microbenchmarks below isolate the coordination structures from the
+// join kernels.
+func benchExchangeRun(n int) *stratumRun {
+	run := &stratumRun{n: n, det: coord.NewDetector(n), clk: coord.NewCoarseClock()}
+	run.queues = make([][]*spsc.Queue[*frame], n)
+	run.inboxes = make([]*coord.Inbox, n)
+	run.recycle = make([][]*spsc.Queue[*frame], n)
+	for i := range run.queues {
+		run.queues[i] = make([]*spsc.Queue[*frame], n)
+		run.inboxes[i] = coord.NewInbox(n)
+		run.recycle[i] = make([]*spsc.Queue[*frame], n)
+		for j := range run.queues[i] {
+			if i != j {
+				run.queues[i][j] = spsc.New[*frame](1024)
+				run.recycle[i][j] = spsc.New[*frame](1024)
+			}
+		}
+	}
+	return run
+}
+
+// BenchmarkGatherEmpty measures the cost of discovering that nothing
+// arrived — the operation a spinning or polling worker repeats most.
+// "ringscan" is the old inbox check: drain every one of the n-1 rings,
+// touching two cross-core index lines each. "bitmap" is the new check:
+// load one word of the worker's own inbox bitmap.
+func BenchmarkGatherEmpty(b *testing.B) {
+	const n = 16
+	run := benchExchangeRun(n)
+	w := &worker{id: 0, run: run, inbox: run.inboxes[0]}
+
+	b.Run("ringscan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range run.queues[w.id] {
+				if q == nil {
+					continue
+				}
+				q.Drain(func(*frame) {})
+			}
+		}
+	})
+	b.Run("bitmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if w.gather() != 0 {
+				b.Fatal("unexpected arrivals")
+			}
+		}
+	})
+}
+
+// BenchmarkFrameRecycle measures one full frame round trip — producer
+// sizes a frame, consumer returns it — for the producer-local free
+// list + per-edge recycle ring against the sync.Pool the engine used
+// before. On one core sync.Pool's per-P private slot is already cheap;
+// the recycle ring's advantage is that it never crosses a pool mutex,
+// never loses frames to a GC cycle (allocs/op stays exactly zero), and
+// keeps each frame on the worker whose batch sizes shaped it.
+func BenchmarkFrameRecycle(b *testing.B) {
+	const width, rows = 3, 64
+
+	b.Run("recycle-ring", func(b *testing.B) {
+		run := benchExchangeRun(2)
+		producer := &worker{id: 0, run: run, inbox: run.inboxes[0]}
+		consumer := &worker{id: 1, run: run, inbox: run.inboxes[1]}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f := producer.getFrame(width, rows)
+			consumer.recycleFrame(producer.id, f)
+		}
+	})
+	b.Run("sync-pool", func(b *testing.B) {
+		pool := sync.Pool{New: func() any { return &frame{} }}
+		getFrame := func(width, n int) *frame {
+			f := pool.Get().(*frame)
+			if cap(f.hashes) < n {
+				f.hashes = make([]uint64, n)
+			}
+			if cap(f.words) < n*width {
+				f.words = make([]storage.Value, n*width)
+			}
+			f.hashes = f.hashes[:n]
+			f.words = f.words[:n*width]
+			f.width = int32(width)
+			f.count = int32(n)
+			return f
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f := getFrame(width, rows)
+			f.count = 0
+			pool.Put(f)
+		}
+	})
+}
+
+// TestFrameRecycleZeroAlloc pins the steady-state guarantee: after the
+// first round trip sizes the frame, the produce/consume cycle allocates
+// nothing — no pool interface boxing, no GC-emptied cache to refill.
+func TestFrameRecycleZeroAlloc(t *testing.T) {
+	const width, rows = 3, 64
+	run := benchExchangeRun(2)
+	producer := &worker{id: 0, run: run, inbox: run.inboxes[0]}
+	consumer := &worker{id: 1, run: run, inbox: run.inboxes[1]}
+
+	// Warm up: size one frame and let the free-list slice settle.
+	for i := 0; i < 4; i++ {
+		f := producer.getFrame(width, rows)
+		consumer.recycleFrame(producer.id, f)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		f := producer.getFrame(width, rows)
+		consumer.recycleFrame(producer.id, f)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state frame cycle allocates %.1f objects per round trip, want 0", allocs)
+	}
+}

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"runtime"
 	"time"
 
 	"repro/internal/coord"
@@ -15,6 +14,15 @@ import (
 type worker struct {
 	id  int
 	run *stratumRun
+
+	// inbox is this worker's wakeup bitmap (run.inboxes[id]).
+	inbox *coord.Inbox
+
+	// freeFrames is the producer-local frame free list. Frames this
+	// worker sent come back to it through the per-edge recycle rings
+	// and are reused here, so a frame's backing arrays stay with the
+	// worker whose batch sizes shaped them.
+	freeFrames []*frame
 
 	// replicas[pred][path] is this worker's partition of the relation.
 	replicas [][]*replica
@@ -104,7 +112,7 @@ func newWorker(run *stratumRun, id int) *worker {
 	// Four frames' worth of rows per out-batch keeps the batch's dedup
 	// slot table small enough to stay cache-resident while preserving
 	// most of the within-iteration dedup scope.
-	w := &worker{id: id, run: run, flushCap: 4 * run.opts.BatchSize}
+	w := &worker{id: id, run: run, flushCap: 4 * run.opts.BatchSize, inbox: run.inboxes[id]}
 	w.wireBufs = make([]storage.Tuple, len(run.st.Preds))
 	for pi := range run.st.Preds {
 		w.wireBufs[pi] = make(storage.Tuple, run.widths[pi])
@@ -167,36 +175,75 @@ func (w *worker) pendingDelta() int {
 	return total
 }
 
-// gather drains every inbox ring and merges the tuples (the Gather
-// operator); it returns the number of tuples consumed. Frames are
-// recycled into the run's pool once merged.
+// gather drains the flagged inbox rings and merges the tuples (the
+// Gather operator); it returns the number of tuples consumed. The inbox
+// bitmap is claimed before the rings are scanned — the producer-side
+// mirror (push, then flag) makes that order lossless — so an empty
+// gather costs one word load instead of touching every ring's index
+// lines. Drained frames are recycled to the worker that sized them.
 func (w *worker) gather() int {
 	total := 0
-	for j, q := range w.run.queues[w.id] {
-		if q == nil {
-			continue
-		}
+	w.inbox.Drain(func(j int) {
+		q := w.run.queues[w.id][j]
 		q.Drain(func(f *frame) {
 			n := int(f.count)
 			w.arrivals[j].Record(n, f.sentAt)
 			rep := w.replicas[f.pred][f.path]
 			w.merged += int64(rep.mergeFrame(f))
-			w.run.det.Consume(n)
+			w.run.det.Consume(w.id, n)
 			total += n
-			w.run.putFrame(f)
+			w.recycleFrame(j, f)
 		})
-	}
+	})
 	return total
 }
 
-// inboxNonEmpty cheaply checks for queued messages.
-func (w *worker) inboxNonEmpty() bool {
-	for _, q := range w.run.queues[w.id] {
-		if q != nil && !q.Empty() {
-			return true
+// recycleFrame hands a drained frame back to the producer that owns it
+// through the per-edge recycle ring. The caller must not touch the
+// frame (or views into it) afterwards. A full ring — the owner is far
+// behind on reclaiming — drops the frame for the GC; circulation per
+// edge is bounded by the ring capacities, so this cannot leak.
+func (w *worker) recycleFrame(owner int, f *frame) {
+	f.count = 0
+	w.run.recycle[owner][w.id].TryPush(f)
+}
+
+// getFrame returns a frame sized for n rows of the given width, reusing
+// the producer-local free list and refilling it from this worker's
+// recycle rings before falling back to allocation.
+func (w *worker) getFrame(width, n int) *frame {
+	if len(w.freeFrames) == 0 {
+		for _, q := range w.run.recycle[w.id] {
+			if q == nil {
+				continue
+			}
+			q.Drain(func(f *frame) { w.freeFrames = append(w.freeFrames, f) })
 		}
 	}
-	return false
+	var f *frame
+	if k := len(w.freeFrames) - 1; k >= 0 {
+		f = w.freeFrames[k]
+		w.freeFrames[k] = nil
+		w.freeFrames = w.freeFrames[:k]
+	} else {
+		f = &frame{}
+	}
+	if cap(f.hashes) < n {
+		f.hashes = make([]uint64, n)
+	}
+	if cap(f.words) < n*width {
+		f.words = make([]storage.Value, n*width)
+	}
+	f.hashes = f.hashes[:n]
+	f.words = f.words[:n*width]
+	f.width = int32(width)
+	f.count = int32(n)
+	return f
+}
+
+// inboxNonEmpty cheaply checks for queued messages: one bitmap load.
+func (w *worker) inboxNonEmpty() bool {
+	return w.inbox.Any()
 }
 
 // runBaseRules seeds the stratum: every worker evaluates a stripe of
@@ -261,9 +308,9 @@ func (w *worker) runGlobal() {
 	for {
 		w.gather()
 		has := w.pendingDelta() > 0
-		waitStart := time.Now()
+		waitStart := w.run.clk.Refresh()
 		anyDelta := w.run.bar.Wait(has)
-		w.waitTime += time.Since(waitStart)
+		w.waitTime += time.Duration(w.run.clk.Refresh() - waitStart)
 		if w.id == 0 {
 			w.run.stats.GlobalBarriers++
 		}
@@ -273,35 +320,39 @@ func (w *worker) runGlobal() {
 		if has {
 			w.iterate()
 		}
-		waitStart = time.Now()
+		waitStart = w.run.clk.Refresh()
 		w.run.bar.Wait(false) // all sends of this round enqueued
-		w.waitTime += time.Since(waitStart)
+		w.waitTime += time.Duration(w.run.clk.Refresh() - waitStart)
 	}
 }
 
 // park marks the worker inactive and waits for new input or the global
-// fixpoint; it returns true when evaluation is over.
+// fixpoint; it returns true when evaluation is over. The wait loop spins
+// on this worker's one inbox word — the only line a producer touches to
+// wake us — and throttles the O(workers) TryFinish scan: it runs on
+// power-of-two rounds while yielding and on every sleep tick once the
+// backoff has escalated, so a parked fleet probes the shards at sleep
+// frequency instead of spin frequency.
 func (w *worker) park() bool {
-	w.run.det.SetInactive()
+	w.run.det.SetInactive(w.id)
 	w.run.clock.Park(w.id)
-	start := time.Now()
-	defer func() { w.waitTime += time.Since(start) }()
-	spins := 0
-	for {
-		if w.run.det.TryFinish() {
-			return true
-		}
+	clk := w.run.clk
+	start := clk.Refresh()
+	defer func() { w.waitTime += time.Duration(clk.Refresh() - start) }()
+	b := coord.Backoff{Clk: clk}
+	slept := true // probe TryFinish on the first round
+	for round := uint(0); ; round++ {
 		if w.inboxNonEmpty() {
-			w.run.det.SetActive()
+			w.run.det.SetActive(w.id)
 			w.run.clock.Unpark(w.id)
 			return false
 		}
-		spins++
-		if spins < 16 {
-			runtime.Gosched()
-		} else {
-			time.Sleep(50 * time.Microsecond)
+		if slept || round&(round-1) == 0 {
+			if w.run.det.TryFinish() {
+				return true
+			}
 		}
+		slept = b.Pause()
 	}
 }
 
@@ -314,32 +365,41 @@ func (w *worker) dwsGate(total int) {
 	if d.Omega <= 0 || total >= d.Omega {
 		return
 	}
-	start := time.Now()
-	deadline := start.Add(time.Duration(d.Tau * float64(time.Second)))
-	for time.Now().Before(deadline) {
-		time.Sleep(20 * time.Microsecond)
-		w.gather()
-		total = w.pendingDelta()
-		if total == 0 || total >= d.Omega {
-			break
+	clk := w.run.clk
+	start := clk.Refresh()
+	deadline := start + int64(d.Tau*float64(time.Second))
+	b := coord.Backoff{Clk: clk}
+	for clk.Now() < deadline {
+		b.Pause()
+		// pendingDelta scans every replica; skip it when the tick
+		// gathered nothing — the delta cannot have fattened.
+		if w.gather() > 0 {
+			total = w.pendingDelta()
+			if total == 0 || total >= d.Omega {
+				break
+			}
 		}
 	}
-	w.waitTime += time.Since(start)
+	w.waitTime += time.Duration(clk.Refresh() - start)
 }
 
 // sspGate blocks while the worker is more than Slack local iterations
 // ahead of the slowest active worker, gathering while it waits.
 func (w *worker) sspGate() {
-	start := time.Now()
-	waited := false
-	for !w.run.clock.MayProceed(w.id) {
-		waited = true
+	if w.run.clock.MayProceed(w.id) {
+		return
+	}
+	clk := w.run.clk
+	start := clk.Refresh()
+	b := coord.Backoff{Clk: clk}
+	for {
 		w.gather()
-		time.Sleep(20 * time.Microsecond)
+		if w.run.clock.MayProceed(w.id) {
+			break
+		}
+		b.Pause()
 	}
-	if waited {
-		w.waitTime += time.Since(start)
-	}
+	w.waitTime += time.Duration(clk.Refresh() - start)
 }
 
 // deltaBlock is the number of outer delta tuples one rule variant binds
@@ -367,7 +427,10 @@ const selfDrainWords = 1 << 15
 // processed in blocks — for each block, every variant kernel drives all
 // its join levels over the whole block before the next variant starts.
 func (w *worker) iterate() {
-	start := time.Now()
+	// Refreshing the coarse clock at the iteration boundary also keeps
+	// the sentAt stamps flushBatch reads from it honest: a frame's stamp
+	// is at most one local iteration stale.
+	start := w.run.clk.Refresh()
 	processed := 0
 	capped := (w.run.opts.MaxLocalIters > 0 && w.localIters >= int64(w.run.opts.MaxLocalIters)) ||
 		(w.run.opts.MaxTuples > 0 && w.run.det.Produced() > w.run.opts.MaxTuples)
@@ -414,7 +477,7 @@ func (w *worker) iterate() {
 	}
 	w.drainSelf()
 	w.flushAll()
-	w.service.Record(processed, time.Since(start).Seconds())
+	w.service.Record(processed, float64(w.run.clk.Refresh()-start)/1e9)
 	w.localIters++
 	w.run.clock.Advance(w.id)
 }

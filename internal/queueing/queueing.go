@@ -22,6 +22,25 @@ func (w *welford) add(x float64) {
 	w.m2 += d * (x - w.mean)
 }
 
+// addN folds in n identical samples of value x in O(1) — the closed form
+// of Chan's parallel-variance merge with a zero-variance block of size n.
+// It is exact: n repeated add(x) calls contribute the same mean shift and
+// the same between-block term n0·n/(n0+n)·(x-mean)² to m2 (each add's
+// d·(x-mean') terms telescope to exactly that sum), so trackers that
+// spread one batch gap over hundreds of tuples no longer pay a loop per
+// frame on the gather path.
+func (w *welford) addN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	n0 := float64(w.n)
+	nf := float64(n)
+	d := x - w.mean
+	w.n += n
+	w.mean += d * nf / (n0 + nf)
+	w.m2 += d * d * n0 * nf / (n0 + nf)
+}
+
 func (w *welford) variance() float64 {
 	if w.n < 2 {
 		return 0
@@ -46,9 +65,7 @@ func (a *ArrivalTracker) Record(n int, sentAt int64) {
 	}
 	if a.lastArrival != 0 && sentAt > a.lastArrival {
 		gap := float64(sentAt-a.lastArrival) / 1e9 / float64(n)
-		for i := 0; i < n; i++ {
-			a.inter.add(gap)
-		}
+		a.inter.addN(gap, int64(n))
 	}
 	a.lastArrival = sentAt
 	a.tuples += int64(n)
@@ -82,9 +99,7 @@ func (s *ServiceTracker) Record(n int, d float64) {
 		return
 	}
 	per := d / float64(n)
-	for i := 0; i < n; i++ {
-		s.per.add(per)
-	}
+	s.per.addN(per, int64(n))
 }
 
 // Mu returns the mean service rate μ in tuples per second, or 0 when

@@ -157,3 +157,43 @@ func TestDecide(t *testing.T) {
 		t.Fatalf("tau = %g not clamped", d.Tau)
 	}
 }
+
+// TestWelfordAddNMatchesRepeatedAdd pins the closed-form bulk update to
+// the loop it replaced: folding n identical samples in one step must
+// leave count, mean and variance exactly where n individual adds would
+// (up to float rounding, which the closed form actually reduces).
+func TestWelfordAddNMatchesRepeatedAdd(t *testing.T) {
+	samples := []struct {
+		x float64
+		n int64
+	}{{0.5, 1}, {2.0, 37}, {0.125, 400}, {7.5, 3}, {2.0, 1000}, {1e-6, 256}}
+
+	var bulk, loop welford
+	for _, s := range samples {
+		bulk.addN(s.x, s.n)
+		for i := int64(0); i < s.n; i++ {
+			loop.add(s.x)
+		}
+	}
+	if bulk.n != loop.n {
+		t.Fatalf("count: bulk %d, loop %d", bulk.n, loop.n)
+	}
+	relClose := func(a, b float64) bool {
+		diff := math.Abs(a - b)
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		return diff <= 1e-9*math.Max(scale, 1)
+	}
+	if !relClose(bulk.mean, loop.mean) {
+		t.Fatalf("mean: bulk %g, loop %g", bulk.mean, loop.mean)
+	}
+	if !relClose(bulk.variance(), loop.variance()) {
+		t.Fatalf("variance: bulk %g, loop %g", bulk.variance(), loop.variance())
+	}
+	// addN(x, 0) and addN(x, -1) must be no-ops.
+	before := bulk
+	bulk.addN(9.0, 0)
+	bulk.addN(9.0, -1)
+	if bulk != before {
+		t.Fatal("addN with n ≤ 0 mutated the accumulator")
+	}
+}

@@ -1,0 +1,46 @@
+package spsc
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestQueueLayout pins the false-sharing contract of the ring: the
+// consumer's index pair and the producer's index pair each begin a
+// fresh cache line, at least one full line apart, for any element
+// type (offsets cannot depend on T — buf is a fixed 24-byte header).
+func TestQueueLayout(t *testing.T) {
+	check := func(name string, head, tail, size uintptr) {
+		t.Helper()
+		if head%cacheLine != 0 {
+			t.Errorf("%s: head offset %d not cache-line aligned", name, head)
+		}
+		if tail%cacheLine != 0 {
+			t.Errorf("%s: tail offset %d not cache-line aligned", name, tail)
+		}
+		if tail-head < cacheLine {
+			t.Errorf("%s: head and tail only %d bytes apart", name, tail-head)
+		}
+		if size%cacheLine != 0 {
+			t.Errorf("%s: size %d is not a whole number of lines", name, size)
+		}
+	}
+
+	var qp Queue[*int]
+	check("Queue[*int]",
+		unsafe.Offsetof(qp.head), unsafe.Offsetof(qp.tail), unsafe.Sizeof(qp))
+
+	var qw Queue[[5]uint64]
+	check("Queue[[5]uint64]",
+		unsafe.Offsetof(qw.head), unsafe.Offsetof(qw.tail), unsafe.Sizeof(qw))
+
+	// The cached opposing index must share its owner's line — that
+	// sharing is the point (the consumer refreshes cachedTail from the
+	// producer's line only on apparent emptiness).
+	if unsafe.Offsetof(qp.cachedTail)-unsafe.Offsetof(qp.head) >= cacheLine {
+		t.Error("cachedTail drifted off the consumer's cache line")
+	}
+	if unsafe.Offsetof(qp.cachedHead)-unsafe.Offsetof(qp.tail) >= cacheLine {
+		t.Error("cachedHead drifted off the producer's cache line")
+	}
+}

@@ -10,28 +10,54 @@ package spsc
 import (
 	"runtime"
 	"sync/atomic"
+	"unsafe"
 )
 
-// pad keeps the producer and consumer indexes on separate cache lines.
-type pad [56]byte
+// cacheLine is the coherence granule the padding isolates: each index
+// pair below must own its line outright, or producer and consumer
+// ping-pong it on every operation.
+const cacheLine = 64
 
 // Queue is a bounded SPSC ring. The zero value is not usable; construct
 // with New.
+//
+// Layout: the consumer's fields (head + cachedTail) and the producer's
+// fields (tail + cachedHead) each start on their own cache-line
+// boundary. The pads are computed from the preceding fields' sizes —
+// the old scheme inserted fixed 56-byte pads that silently assumed an
+// 8-byte neighbor, so reordering or widening any field would have
+// quietly re-introduced false sharing. Compile-time guards below (and
+// the layout test) make any such drift a build error instead.
 type Queue[T any] struct {
-	buf  []T
-	mask uint64
+	buf  []T    // 24 bytes (slice header)
+	mask uint64 // 8 bytes
+	_    [cacheLine - (24+8)%cacheLine]byte
 
-	_    pad
 	head atomic.Uint64 // next slot to pop; advanced by the consumer
 	// cachedTail is the consumer's last observed tail.
 	cachedTail uint64
+	_          [cacheLine - 16]byte
 
-	_    pad
 	tail atomic.Uint64 // next slot to push; advanced by the producer
 	// cachedHead is the producer's last observed head.
 	cachedHead uint64
-	_          pad
+	_          [cacheLine - 16]byte
 }
+
+// layoutProbe instantiates Queue for the compile-time layout guards;
+// field offsets do not depend on T (buf is always a 24-byte header).
+var layoutProbe Queue[struct{}]
+
+// Negative array lengths are compile errors, so each of these vars
+// fails the build if the named field does not start exactly on a
+// cache-line boundary (or the struct's size stops being a whole number
+// of lines, which would let the tail of one heap neighbor share a line
+// with our head).
+var (
+	_ [-(unsafe.Offsetof(layoutProbe.head) % cacheLine)]byte
+	_ [-(unsafe.Offsetof(layoutProbe.tail) % cacheLine)]byte
+	_ [-(unsafe.Sizeof(layoutProbe) % cacheLine)]byte
+)
 
 // New returns a queue with capacity rounded up to the next power of
 // two (minimum 2).
