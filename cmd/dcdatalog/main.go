@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +44,8 @@ func mainErr() error {
 	explain := flag.Bool("explain", false, "print the evaluation plan and exit")
 	stats := flag.Bool("stats", false, "print execution statistics")
 	limit := flag.Int("limit", 0, "print at most this many rows per relation (0 = all)")
+	timeout := flag.Duration("timeout", 0, "abort evaluation after this duration, e.g. 30s (0 = no limit)")
+	maxTuples := flag.Int64("max-tuples", 0, "per-stratum derived-tuple budget; truncated results are printed with a warning (0 = no limit)")
 	flag.Parse()
 
 	if *program == "" {
@@ -62,6 +66,9 @@ func mainErr() error {
 	opts := []dcdatalog.Option{}
 	if *workers > 0 {
 		opts = append(opts, dcdatalog.WithWorkers(*workers))
+	}
+	if *maxTuples > 0 {
+		opts = append(opts, dcdatalog.WithMaxTuples(*maxTuples))
 	}
 	switch *strategy {
 	case "dws":
@@ -95,8 +102,21 @@ func mainErr() error {
 		return nil
 	}
 
-	res, err := db.Query(string(srcBytes), opts...)
-	if err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := db.QueryContext(ctx, string(srcBytes), opts...)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("evaluation exceeded -timeout %s: %w", *timeout, err)
+	case errors.Is(err, dcdatalog.ErrBudgetExceeded):
+		// Truncated but usable: warn on stderr, then print the
+		// partial rows like a normal result.
+		fmt.Fprintln(os.Stderr, "dcdatalog: warning:", err)
+	case err != nil:
 		return err
 	}
 	printRel := func(name string) {

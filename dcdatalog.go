@@ -24,8 +24,10 @@ package dcdatalog
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
+	"maps"
 	"strconv"
 	"strings"
 	"time"
@@ -338,6 +340,12 @@ func WithParam(name string, value any) Option {
 	}
 }
 
+// ErrBudgetExceeded is returned (alongside the partial Result) when a
+// WithMaxTuples or WithMaxIterations budget fires with deltas still
+// pending: the fixpoint was NOT reached and the result is truncated.
+// Match with errors.Is.
+var ErrBudgetExceeded = engine.ErrBudgetExceeded
+
 // Stats summarizes an execution.
 type Stats = engine.Stats
 
@@ -384,17 +392,17 @@ func (r *Result) Len(name string) int { return len(r.res.Relations[name]) }
 func (r *Result) Stats() Stats { return r.res.Stats }
 
 // compile runs the full front end for a query.
-func (db *Database) compile(src string, opts []Option) (*physical.Program, *pcg.Analysis, engine.Options, error) {
+func (db *Database) compile(src string, opts []Option) (*physical.Program, *pcg.Analysis, *config, error) {
 	c := &config{params: make(map[string]physical.Param)}
 	c.opts.Strategy = coord.DWS // the paper's strategy is the default
 	for _, o := range opts {
 		if err := o(c, db); err != nil {
-			return nil, nil, engine.Options{}, err
+			return nil, nil, nil, err
 		}
 	}
 	prog, err := parser.Parse(src)
 	if err != nil {
-		return nil, nil, engine.Options{}, err
+		return nil, nil, nil, err
 	}
 	paramTypes := make(map[string]storage.Type, len(c.params))
 	for k, p := range c.params {
@@ -402,7 +410,7 @@ func (db *Database) compile(src string, opts []Option) (*physical.Program, *pcg.
 	}
 	analysis, err := pcg.Analyze(prog, db.schemas, paramTypes)
 	if err != nil {
-		return nil, nil, engine.Options{}, err
+		return nil, nil, nil, err
 	}
 	var bopts []plan.BuildOption
 	if c.broadcast {
@@ -410,26 +418,102 @@ func (db *Database) compile(src string, opts []Option) (*physical.Program, *pcg.
 	}
 	logical, err := plan.Build(analysis, bopts...)
 	if err != nil {
-		return nil, nil, engine.Options{}, err
+		return nil, nil, nil, err
 	}
 	phys, err := physical.Compile(logical, c.params, db.syms)
 	if err != nil {
-		return nil, nil, engine.Options{}, err
+		return nil, nil, nil, err
 	}
-	return phys, analysis, c.opts, nil
+	return phys, analysis, c, nil
+}
+
+// Prepared is a compiled program bound to its database: the parse,
+// safety/stratification analysis, logical plan and physical compile
+// have all run once, and the immutable physical.Program can be
+// executed many times — concurrently — against the database's frozen
+// relations. Parameters and replication strategy are baked in at
+// Prepare; execution options (workers, strategy, budgets, timeouts)
+// vary per Exec.
+type Prepared struct {
+	db        *Database
+	phys      *physical.Program
+	analysis  *pcg.Analysis
+	opts      engine.Options
+	params    map[string]physical.Param
+	broadcast bool
+}
+
+// Prepare compiles a program once for repeated execution. The returned
+// Prepared is safe for concurrent Exec calls as long as the database's
+// relations are not loaded into concurrently (load everything, then
+// query — the dcserve dataset registry enforces this by construction).
+func (db *Database) Prepare(src string, opts ...Option) (*Prepared, error) {
+	phys, analysis, c, err := db.compile(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		db:        db,
+		phys:      phys,
+		analysis:  analysis,
+		opts:      c.opts,
+		params:    c.params,
+		broadcast: c.broadcast,
+	}, nil
+}
+
+// Exec runs the prepared program. Execution options may override the
+// ones given at Prepare; compile-time options (WithParam,
+// WithBroadcastReplication) are baked into the physical program and
+// changing them here is an error — re-prepare instead. On budget
+// truncation Exec returns the partial Result together with an error
+// matching ErrBudgetExceeded; on context cancellation it returns a nil
+// Result and an error matching ctx.Err().
+func (p *Prepared) Exec(ctx context.Context, opts ...Option) (*Result, error) {
+	c := &config{opts: p.opts, params: maps.Clone(p.params), broadcast: p.broadcast}
+	for _, o := range opts {
+		if err := o(c, p.db); err != nil {
+			return nil, err
+		}
+	}
+	if c.broadcast != p.broadcast || !paramsEqual(c.params, p.params) {
+		return nil, fmt.Errorf("dcdatalog: parameters and replication are fixed at Prepare; re-prepare to change them")
+	}
+	res, err := engine.RunContext(ctx, p.phys, p.db.data, c.opts)
+	if res == nil {
+		return nil, err
+	}
+	return &Result{db: p.db, analysis: p.analysis, res: res}, err
+}
+
+func paramsEqual(a, b map[string]physical.Param) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // Query parses, plans and executes a program against the database.
 func (db *Database) Query(src string, opts ...Option) (*Result, error) {
-	phys, analysis, eopts, err := db.compile(src, opts)
+	return db.QueryContext(context.Background(), src, opts...)
+}
+
+// QueryContext is Query with cancellation: when ctx is canceled or
+// its deadline passes, the parallel evaluation aborts mid-fixpoint —
+// parked workers wake, gated workers bail, Global-strategy barriers
+// release — and the call returns an error matching ctx.Err() (via
+// errors.Is) instead of hanging on a diverging recursion.
+func (db *Database) QueryContext(ctx context.Context, src string, opts ...Option) (*Result, error) {
+	p, err := db.Prepare(src, opts...)
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.Run(phys, db.data, eopts)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{db: db, analysis: analysis, res: res}, nil
+	return p.Exec(ctx)
 }
 
 // Explain returns the logical plan and AND/OR tree of a program

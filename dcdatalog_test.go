@@ -1,9 +1,12 @@
 package dcdatalog
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"strings"
 	"testing"
+	"time"
 )
 
 func newTCDB(t *testing.T) *Database {
@@ -222,10 +225,66 @@ func TestWithMaxIterations(t *testing.T) {
 		num(X) :- X = 0.
 		num(Y) :- num(X), Y = X + 1, Y < 100000.
 	`, WithMaxIterations(10), WithWorkers(1))
-	if err != nil {
-		t.Fatal(err)
+	// Truncation is no longer silent: the capped run reports
+	// ErrBudgetExceeded alongside the partial result.
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if res == nil {
+		t.Fatal("capped run must still return the partial result")
 	}
 	if res.Len("num") == 0 || res.Len("num") >= 100000 {
 		t.Fatalf("num = %d", res.Len("num"))
+	}
+}
+
+func TestQueryContextDeadline(t *testing.T) {
+	db := NewDatabase()
+	db.MustDeclare("arc", Col("x", Int), Col("y", Int))
+	for i := 0; i < 8; i++ {
+		db.MustLoad("arc", [][]any{{i, (i + 1) % 8}})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := db.QueryContext(ctx, `
+		p(X, Z) :- arc(X, Y), Z = 0.
+		p(Y, M) :- p(X, N), arc(X, Y), M = N + 1.
+	`, WithWorkers(2))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Fatal("canceled query must not return a result")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("deadline took %s to surface", elapsed)
+	}
+}
+
+func TestPreparedReuse(t *testing.T) {
+	db := newTCDB(t)
+	p, err := db.Prepare(`
+		out(Y) :- arc($src, Y).
+	`, WithParam("src", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res, err := p.Exec(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len("out") == 0 {
+			t.Fatalf("run %d: no rows", i)
+		}
+	}
+	// Exec-time options may tune execution but not recompile: changing
+	// a parameter after Prepare is an error, not a silent rebind.
+	if _, err := p.Exec(context.Background(), WithParam("src", 2)); err == nil {
+		t.Fatal("changing a param at Exec must fail")
+	}
+	if _, err := p.Exec(context.Background(), WithWorkers(2)); err != nil {
+		t.Fatalf("exec-time worker override: %v", err)
 	}
 }

@@ -43,15 +43,19 @@ func (k Kind) String() string {
 // Barrier is a reusable n-party barrier with a per-round OR-reduction:
 // Wait returns the disjunction of every participant's flag for the
 // round. The Global strategy uses the flag to agree on "someone still
-// has a delta".
+// has a delta". A canceled barrier (see Cancel) releases every waiter
+// and makes all future Waits return false immediately, so workers of
+// an aborted run can never deadlock waiting for a peer that already
+// exited.
 type Barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   uint64
-	flag  bool
-	out   bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int
+	count    int
+	gen      uint64
+	flag     bool
+	out      bool
+	canceled bool
 }
 
 // NewBarrier returns a barrier for n participants.
@@ -62,10 +66,15 @@ func NewBarrier(n int) *Barrier {
 }
 
 // Wait blocks until all n participants arrive and returns the OR of
-// their flags.
+// their flags. On a canceled barrier Wait returns false immediately —
+// the caller must treat that as "no one has a delta" and exit its
+// round loop (workers additionally observe the run's cancel flag).
 func (b *Barrier) Wait(flag bool) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.canceled {
+		return false
+	}
 	gen := b.gen
 	if flag {
 		b.flag = true
@@ -79,10 +88,24 @@ func (b *Barrier) Wait(flag bool) bool {
 		b.cond.Broadcast()
 		return b.out
 	}
-	for gen == b.gen {
+	for gen == b.gen && !b.canceled {
 		b.cond.Wait()
 	}
+	if b.canceled {
+		return false
+	}
 	return b.out
+}
+
+// Cancel permanently releases the barrier: every blocked Wait wakes
+// and returns false, and every future Wait returns false without
+// blocking. Used to unblock Global-strategy workers when a run is
+// canceled; idempotent.
+func (b *Barrier) Cancel() {
+	b.mu.Lock()
+	b.canceled = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
 }
 
 // Clock tracks per-worker local iteration counts for the SSP bound:

@@ -138,3 +138,40 @@ func TestBarrierManyRoundsUnderContention(t *testing.T) {
 		t.Fatal("barrier too slow")
 	}
 }
+
+// TestBarrierCancel: canceling a barrier releases every blocked waiter
+// with a false flag and makes all future Waits non-blocking — the
+// mechanism that unblocks Global-strategy workers on run cancellation.
+func TestBarrierCancel(t *testing.T) {
+	const n = 3
+	b := NewBarrier(n)
+	results := make(chan bool, n)
+	// n-1 waiters block (the n-th participant never arrives).
+	for i := 0; i < n-1; i++ {
+		go func() { results <- b.Wait(true) }()
+	}
+	time.Sleep(5 * time.Millisecond)
+	b.Cancel()
+	for i := 0; i < n-1; i++ {
+		select {
+		case out := <-results:
+			if out {
+				t.Fatal("canceled Wait must return false")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("Cancel did not release a blocked waiter")
+		}
+	}
+	// Future waits return immediately; Cancel is idempotent.
+	b.Cancel()
+	done := make(chan bool, 1)
+	go func() { done <- b.Wait(true) }()
+	select {
+	case out := <-done:
+		if out {
+			t.Fatal("post-cancel Wait must return false")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("post-cancel Wait blocked")
+	}
+}

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/storage"
+)
+
+// divergingSrc counts path lengths over a cyclic graph: on any cycle
+// the step counter grows without bound, so evaluation never reaches a
+// fixpoint — the workload cancellation exists for.
+const divergingSrc = `
+	p(X, Z) :- arc(X, Y), Z = 0.
+	p(Y, M) :- p(X, N), arc(X, Y), M = N + 1.
+`
+
+// cycleEDB returns a directed n-cycle 0→1→…→n-1→0.
+func cycleEDB(n int) map[string][]storage.Tuple {
+	edges := make([][2]int64, n)
+	for i := 0; i < n; i++ {
+		edges[i] = [2]int64{int64(i), int64((i + 1) % n)}
+	}
+	return map[string][]storage.Tuple{"arc": pairs(edges)}
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base (with a small slack for runtime housekeeping) or the deadline
+// passes, and returns the final count.
+func waitGoroutines(base int, deadline time.Duration) int {
+	limit := time.Now().Add(deadline)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base || time.Now().After(limit) {
+			return n
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCancelMidRecursion cancels an unbounded recursion over a cyclic
+// EDB mid-fixpoint: the run must return promptly with context.Canceled
+// under every worker count and strategy, leaking no goroutines.
+func TestCancelMidRecursion(t *testing.T) {
+	strategies := []coord.Kind{coord.DWS, coord.SSP, coord.Global}
+	for _, workers := range []int{1, 4, 8} {
+		for _, strat := range strategies {
+			t.Run(fmt.Sprintf("w%d_%s", workers, strat), func(t *testing.T) {
+				base := runtime.NumGoroutine()
+				prog := compileSrc(t, divergingSrc, arcSchemas(), nil)
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+
+				type outcome struct {
+					res *Result
+					err error
+				}
+				done := make(chan outcome, 1)
+				go func() {
+					res, err := RunContext(ctx, prog, cycleEDB(64),
+						Options{Workers: workers, Strategy: strat})
+					done <- outcome{res, err}
+				}()
+
+				time.Sleep(20 * time.Millisecond) // let the recursion spin up
+				cancel()
+				select {
+				case o := <-done:
+					if !errors.Is(o.err, context.Canceled) {
+						t.Fatalf("err = %v, want context.Canceled", o.err)
+					}
+					var ce *CanceledError
+					if !errors.As(o.err, &ce) {
+						t.Fatalf("err = %v, want *CanceledError", o.err)
+					}
+					if o.res != nil {
+						t.Fatal("canceled run must not return a result")
+					}
+				case <-time.After(500 * time.Millisecond):
+					t.Fatal("cancel did not stop the evaluation within 500ms")
+				}
+				if n := waitGoroutines(base, time.Second); n > base {
+					t.Fatalf("goroutines leaked: %d before, %d after", base, n)
+				}
+			})
+		}
+	}
+}
+
+// TestDeadlineMidRecursion is the acceptance criterion: a 50ms
+// deadline over an unbounded recursion returns a deadline error in
+// under 500ms with zero leaked goroutines.
+func TestDeadlineMidRecursion(t *testing.T) {
+	base := runtime.NumGoroutine()
+	prog := compileSrc(t, divergingSrc, arcSchemas(), nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+
+	start := time.Now()
+	res, err := RunContext(ctx, prog, cycleEDB(64), Options{Workers: 4, Strategy: coord.DWS})
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Fatal("deadline-exceeded run must not return a result")
+	}
+	if elapsed >= 500*time.Millisecond {
+		t.Fatalf("50ms deadline took %s to abort (want < 500ms)", elapsed)
+	}
+	if n := waitGoroutines(base, time.Second); n > base {
+		t.Fatalf("goroutines leaked: %d before, %d after", base, n)
+	}
+}
+
+// TestCancelBeforeStart: a context canceled before RunContext is
+// called must abort without evaluating anything.
+func TestCancelBeforeStart(t *testing.T) {
+	prog := compileSrc(t, divergingSrc, arcSchemas(), nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, prog, cycleEDB(8), Options{Workers: 2})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pre-canceled run hung")
+	}
+}
+
+// TestRunContextCompletesNormally: an un-canceled context must not
+// perturb a converging evaluation.
+func TestRunContextCompletesNormally(t *testing.T) {
+	src := `
+		tc(X, Y) :- arc(X, Y).
+		tc(X, Y) :- tc(X, Z), arc(Z, Y).
+	`
+	prog := compileSrc(t, src, arcSchemas(), nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := RunContext(ctx, prog, cycleEDB(16), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TC of a 16-cycle is the complete relation: 16×16 pairs.
+	if got := len(res.Relations["tc"]); got != 256 {
+		t.Fatalf("tc of a 16-cycle = %d tuples, want 256", got)
+	}
+}

@@ -240,7 +240,17 @@ func (w *worker) flushBatch(dest, predIdx, pathIdx int, b *outBatch) {
 		copy(f.words, b.words[start*b.width:(start+n)*b.width])
 		start += n
 		w.run.det.Produce(w.id, n)
+		w.run.derived.Add(int64(n))
 		for !q.TryPush(f) {
+			if w.canceled() {
+				// The consumer may already have exited, leaving its
+				// ring full forever. Drop the batch — the run returns
+				// an error and every exchange byproduct is discarded
+				// (the stranded Produce count only matters to a
+				// fixpoint this run will never declare).
+				b.reset()
+				return
+			}
 			// Draining our own inbox here is what prevents the cycle
 			// "every ring full, every producer blocked". Under the
 			// Global strategy it admits next-round tuples slightly

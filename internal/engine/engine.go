@@ -9,7 +9,9 @@
 package engine
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/coord"
@@ -43,10 +45,74 @@ func (f *frame) row(i int) storage.Tuple {
 	return storage.Tuple(f.words[off : off+int(f.width) : off+int(f.width)])
 }
 
+// runCancel is the per-run cancellation token shared by every stratum
+// of one RunContext call. Workers poll the flag at safe points — loop
+// tops, park spins, gate waits, per-block budget rechecks, full-ring
+// flush retries — so a cancel lands within one backoff tick (≤50µs of
+// sleep) plus at most one delta block of evaluation. Global-strategy
+// workers blocked in a barrier cannot poll, so trigger also cancels
+// every barrier registered so far, waking them.
+type runCancel struct {
+	flag atomic.Bool
+	mu   sync.Mutex
+	bars []*coord.Barrier
+}
+
+func (rc *runCancel) canceled() bool { return rc.flag.Load() }
+
+// trigger flips the flag and releases every registered barrier.
+func (rc *runCancel) trigger() {
+	rc.flag.Store(true)
+	rc.mu.Lock()
+	bars := rc.bars
+	rc.mu.Unlock()
+	for _, b := range bars {
+		b.Cancel()
+	}
+}
+
+// register adds a stratum's barrier to the cancel set; if the run was
+// already canceled the barrier is canceled on the spot (trigger may
+// have run before this stratum started).
+func (rc *runCancel) register(b *coord.Barrier) {
+	rc.mu.Lock()
+	rc.bars = append(rc.bars, b)
+	canceled := rc.flag.Load()
+	rc.mu.Unlock()
+	if canceled {
+		b.Cancel()
+	}
+}
+
 // Run evaluates a compiled program against the given EDB relations.
 func Run(prog *physical.Program, edb map[string][]storage.Tuple, opts Options) (*Result, error) {
+	return RunContext(context.Background(), prog, edb, opts)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled or its
+// deadline passes, every worker aborts at its next safe point — even
+// mid-fixpoint inside a diverging recursion — and the call returns a
+// *CanceledError wrapping ctx's error (no result). A budget truncation
+// (MaxTuples / MaxLocalIters) instead returns the partial Result
+// together with a *BudgetError, so callers can distinguish "you told
+// me to stop" from "the program outran its budget" and still inspect
+// what was derived.
+func RunContext(ctx context.Context, prog *physical.Program, edb map[string][]storage.Tuple, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
+
+	rc := &runCancel{}
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				rc.trigger()
+			case <-stop:
+			}
+		}()
+	}
 
 	store := newRelStore(prog.Plan.Analysis.Schemas)
 	for name := range prog.Plan.Analysis.EDB {
@@ -64,12 +130,19 @@ func Run(prog *physical.Program, edb map[string][]storage.Tuple, opts Options) (
 		Relations: make(map[string][]storage.Tuple),
 		Stats:     Stats{Workers: opts.Workers, Strategy: opts.Strategy},
 	}
-	for _, st := range prog.Strata {
-		ss, err := runStratum(prog, st, store, opts)
+	var budgetErr *BudgetError
+	for si, st := range prog.Strata {
+		if rc.canceled() {
+			return nil, &CanceledError{Stratum: si, Err: ctx.Err()}
+		}
+		ss, err := runStratum(ctx, si, prog, st, store, opts, rc)
 		if err != nil {
 			return nil, err
 		}
 		res.Stats.Strata = append(res.Stats.Strata, *ss)
+		if ss.Capped && budgetErr == nil {
+			budgetErr = &BudgetError{Stratum: si, Preds: ss.Preds, Tuples: ss.TuplesDerived}
+		}
 	}
 	for _, st := range prog.Strata {
 		for _, p := range st.Preds {
@@ -77,6 +150,9 @@ func Run(prog *physical.Program, edb map[string][]storage.Tuple, opts Options) (
 		}
 	}
 	res.Stats.Duration = time.Since(start)
+	if budgetErr != nil {
+		return res, budgetErr
+	}
 	return res, nil
 }
 
@@ -118,6 +194,16 @@ type stratumRun struct {
 	// types caches column types per relation for comparisons.
 	types map[string][]storage.Type
 
+	// rc is the run-wide cancellation token; workers poll it at every
+	// safe point (see runCancel).
+	rc *runCancel
+
+	// derived counts every derivation that left a kernel — remote
+	// sends plus self-bound tuples — so MaxTuples bounds total
+	// derivation volume even at one worker, where nothing crosses a
+	// ring (the detector only sees exchange traffic).
+	derived atomic.Int64
+
 	workers []*worker
 	stats   StratumStats
 	errMu   sync.Mutex
@@ -145,7 +231,7 @@ func (run *stratumRun) fail(err error) {
 	run.errMu.Unlock()
 }
 
-func runStratum(prog *physical.Program, st *physical.Stratum, store *relStore, opts Options) (*StratumStats, error) {
+func runStratum(ctx context.Context, si int, prog *physical.Program, st *physical.Stratum, store *relStore, opts Options, rc *runCancel) (*StratumStats, error) {
 	n := opts.Workers
 	run := &stratumRun{
 		prog:  prog,
@@ -158,7 +244,9 @@ func runStratum(prog *physical.Program, st *physical.Stratum, store *relStore, o
 		clock: coord.NewClock(n, opts.Slack),
 		clk:   coord.NewCoarseClock(),
 		types: make(map[string][]storage.Type),
+		rc:    rc,
 	}
+	rc.register(run.bar)
 	begin := time.Now()
 
 	// Recycle rings only need to hold frames awaiting reuse, not the
@@ -253,6 +341,12 @@ func runStratum(prog *physical.Program, st *physical.Stratum, store *relStore, o
 	if run.err != nil {
 		return nil, run.err
 	}
+	if rc.canceled() {
+		// Workers bailed at safe points; their replicas may hold an
+		// arbitrary prefix of the fixpoint. Nothing is materialized —
+		// the whole run reports the context's error.
+		return nil, &CanceledError{Stratum: si, Err: ctx.Err()}
+	}
 
 	// Materialize primary replicas into the global store.
 	run.stats.ResultTuples = make(map[string]int)
@@ -277,6 +371,7 @@ func runStratum(prog *physical.Program, st *physical.Stratum, store *relStore, o
 		}
 	}
 	run.stats.TuplesSent = run.det.Produced()
+	run.stats.TuplesDerived = run.derived.Load()
 	run.stats.Duration = time.Since(begin)
 	return &run.stats, nil
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -632,13 +633,26 @@ func TestMaxLocalItersCapsRun(t *testing.T) {
 		num(X) :- X = 0.
 		num(Y) :- num(X), Y = X + 1, Y < 1000000.
 	`
-	res := runSrc(t, src, nil, nil, nil,
-		Options{Workers: 2, Strategy: coord.DWS, MaxLocalIters: 50})
+	prog := compileSrc(t, src, nil, nil)
+	res, err := Run(prog, nil, Options{Workers: 2, Strategy: coord.DWS, MaxLocalIters: 50})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("capped run must surface ErrBudgetExceeded, got %v", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is not a *BudgetError: %v", err)
+	}
+	if res == nil {
+		t.Fatal("capped run must still return the partial result")
+	}
 	if len(res.Relations["num"]) >= 1000000 {
 		t.Fatal("cap had no effect")
 	}
 	if len(res.Relations["num"]) == 0 {
 		t.Fatal("no tuples at all")
+	}
+	if !res.Stats.Strata[0].Capped {
+		t.Fatal("stats must still mark the stratum capped")
 	}
 }
 

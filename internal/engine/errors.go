@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrBudgetExceeded is the sentinel matched (via errors.Is) by budget
+// truncation: a MaxTuples or MaxLocalIters cap fired with deltas still
+// pending, so the fixpoint was NOT reached. Run still returns the
+// partial Result alongside the error — callers that treat truncation
+// as the out-of-memory analogue (the benchmark harness) keep the
+// partial relations and timing, everyone else sees a real error
+// instead of a silently short answer.
+var ErrBudgetExceeded = errors.New("evaluation budget exceeded")
+
+// BudgetError reports which stratum first blew its tuple or iteration
+// budget. It unwraps to ErrBudgetExceeded.
+type BudgetError struct {
+	// Stratum is the index of the first capped stratum.
+	Stratum int
+	// Preds names the stratum's recursive predicates.
+	Preds []string
+	// Tuples is the total tuple count produced by the capped stratum.
+	Tuples int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("evaluation budget exceeded in stratum %d (%s) after %d tuples: result truncated short of the fixpoint",
+		e.Stratum, strings.Join(e.Preds, ","), e.Tuples)
+}
+
+// Unwrap makes errors.Is(err, ErrBudgetExceeded) hold.
+func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
+
+// CanceledError reports that a RunContext evaluation was aborted by
+// its context (deadline or explicit cancel). It unwraps to the
+// context's error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) work as expected.
+type CanceledError struct {
+	// Stratum is the stratum that was evaluating when the cancel
+	// landed.
+	Stratum int
+	// Err is the underlying context error.
+	Err error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("evaluation canceled in stratum %d: %v", e.Stratum, e.Err)
+}
+
+// Unwrap exposes the underlying context error.
+func (e *CanceledError) Unwrap() error { return e.Err }

@@ -75,6 +75,7 @@ type StratumStats struct {
 	Recursive      bool
 	LocalIters     []int64 // per worker
 	TuplesSent     int64   // through SPSC buffers
+	TuplesDerived  int64   // kernel output volume incl. self-bound
 	TuplesMerged   int64   // replica state changes
 	WaitTime       []time.Duration
 	Duration       time.Duration

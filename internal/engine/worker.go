@@ -97,6 +97,7 @@ func (w *worker) flushPendingBatches() {
 // drainSelf merges the buffered self-bound derivations and resets the
 // flat buffers for reuse (mergeWire copies everything it retains).
 func (w *worker) drainSelf() {
+	w.run.derived.Add(int64(len(w.selfRefs)))
 	for _, m := range w.selfRefs {
 		width := w.run.widths[m.pred]
 		wire := storage.Tuple(w.selfWords[m.off : int(m.off)+width])
@@ -163,6 +164,11 @@ func newWorker(run *stratumRun, id int) *worker {
 	}
 	return w
 }
+
+// canceled reports whether the run's context was canceled. One shared
+// atomic load of a read-mostly word — cheap enough for per-tuple seed
+// loops and per-block delta rechecks.
+func (w *worker) canceled() bool { return w.run.rc.canceled() }
 
 // pendingDelta counts tuples waiting in consumed delta queues.
 func (w *worker) pendingDelta() int {
@@ -259,6 +265,11 @@ func (w *worker) runBaseRules() {
 		}
 		tuples := w.run.store.scan(k.outer.Pred)
 		for i := w.id; i < len(tuples); i += w.run.n {
+			if w.canceled() {
+				// Abandon the seed mid-stripe: the run returns an
+				// error and nothing here is materialized.
+				return
+			}
 			if k.bindOuter(tuples[i]) {
 				w.exec(k)
 			}
@@ -280,6 +291,9 @@ func (w *worker) runBaseRules() {
 func (w *worker) runAsync() {
 	w.runBaseRules()
 	for {
+		if w.canceled() {
+			return
+		}
 		w.gather()
 		total := w.pendingDelta()
 		if total == 0 {
@@ -306,6 +320,11 @@ func (w *worker) runGlobal() {
 	w.runBaseRules()
 	w.run.bar.Wait(false) // all seed messages enqueued
 	for {
+		if w.canceled() {
+			// The barrier is canceled too (runCancel.trigger), so no
+			// peer blocks waiting for our arrival.
+			return
+		}
 		w.gather()
 		has := w.pendingDelta() > 0
 		waitStart := w.run.clk.Refresh()
@@ -342,6 +361,14 @@ func (w *worker) park() bool {
 	b := coord.Backoff{Clk: clk}
 	slept := true // probe TryFinish on the first round
 	for round := uint(0); ; round++ {
+		if w.canceled() {
+			// A canceled run never reaches the detector's fixpoint
+			// (exiting peers may strand produced-but-unconsumed
+			// frames), so the parked fleet exits on the cancel flag:
+			// each spin round polls it, so the wakeup lands within one
+			// backoff tick (≤ BackoffSleepMax of sleep).
+			return true
+		}
 		if w.inboxNonEmpty() {
 			w.run.det.SetActive(w.id)
 			w.run.clock.Unpark(w.id)
@@ -370,6 +397,9 @@ func (w *worker) dwsGate(total int) {
 	deadline := start + int64(d.Tau*float64(time.Second))
 	b := coord.Backoff{Clk: clk}
 	for clk.Now() < deadline {
+		if w.canceled() {
+			break
+		}
 		b.Pause()
 		// pendingDelta scans every replica; skip it when the tick
 		// gathered nothing — the delta cannot have fattened.
@@ -395,6 +425,11 @@ func (w *worker) sspGate() {
 	for {
 		w.gather()
 		if w.run.clock.MayProceed(w.id) {
+			break
+		}
+		if w.canceled() {
+			// Peers that exited on cancel never Advance their clocks;
+			// without this check a fast worker could spin here forever.
 			break
 		}
 		b.Pause()
@@ -432,8 +467,12 @@ func (w *worker) iterate() {
 	// is at most one local iteration stale.
 	start := w.run.clk.Refresh()
 	processed := 0
-	capped := (w.run.opts.MaxLocalIters > 0 && w.localIters >= int64(w.run.opts.MaxLocalIters)) ||
-		(w.run.opts.MaxTuples > 0 && w.run.det.Produced() > w.run.opts.MaxTuples)
+	// A canceled worker still drains its deltas (takeDelta) so exits
+	// stay cheap, but evaluates none of them — same shape as a blown
+	// budget, except the run returns the context's error, not Capped.
+	capped := w.canceled() ||
+		(w.run.opts.MaxLocalIters > 0 && w.localIters >= int64(w.run.opts.MaxLocalIters)) ||
+		(w.run.opts.MaxTuples > 0 && w.run.derived.Load() > w.run.opts.MaxTuples)
 	for pi, paths := range w.replicas {
 		for path, rep := range paths {
 			if len(rep.delta) == 0 {
@@ -447,10 +486,15 @@ func (w *worker) iterate() {
 			}
 			kernels := w.recKernels[pi][path]
 			for lo := 0; lo < len(delta); lo += deltaBlock {
-				// Re-check the tuple budget per block: diverging
-				// programs can explode inside a single iteration.
+				// Re-check the tuple budget (and the cancel flag) per
+				// block: diverging programs can explode inside a
+				// single iteration.
+				if w.canceled() {
+					w.droppedDeltas = true
+					break
+				}
 				if w.run.opts.MaxTuples > 0 &&
-					w.run.det.Produced() > w.run.opts.MaxTuples {
+					w.run.derived.Load() > w.run.opts.MaxTuples {
 					w.droppedDeltas = true
 					break
 				}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by Acquire when the admission queue is
+// full; the HTTP layer maps it to 429 Too Many Requests.
+var ErrOverloaded = errors.New("server overloaded: admission queue full")
+
+// Admission multiplexes concurrent queries over a bounded machine-wide
+// worker budget. Each query asks for n worker slots (clamped to the
+// budget); when they don't fit, the query waits in a bounded FIFO
+// queue — bounded so that overload turns into fast 429 backpressure
+// instead of an ever-growing latency cliff. FIFO grant order is
+// deliberate: a wide query at the head blocks narrower ones behind it
+// rather than starving forever.
+type Admission struct {
+	mu     sync.Mutex
+	budget int
+	inUse  int
+	queue  []*waiter
+
+	maxQueue int
+	rejected atomic.Int64
+}
+
+type waiter struct {
+	n     int
+	ready chan struct{}
+}
+
+// NewAdmission returns a controller with the given worker budget and
+// queue bound.
+func NewAdmission(budget, maxQueue int) *Admission {
+	if budget < 1 {
+		budget = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{budget: budget, maxQueue: maxQueue}
+}
+
+// Acquire claims n worker slots, queueing (FIFO) while they don't
+// fit. It returns the granted slot count — n clamped to the budget —
+// and a release function the caller must invoke exactly once when the
+// query finishes. A full queue fails fast with ErrOverloaded; a
+// context cancellation while queued returns ctx.Err().
+func (a *Admission) Acquire(ctx context.Context, n int) (int, func(), error) {
+	if n < 1 {
+		n = 1
+	}
+	a.mu.Lock()
+	if n > a.budget {
+		n = a.budget
+	}
+	if len(a.queue) == 0 && a.inUse+n <= a.budget {
+		a.inUse += n
+		a.mu.Unlock()
+		return n, a.releaseFunc(n), nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		a.mu.Unlock()
+		a.rejected.Add(1)
+		return 0, nil, ErrOverloaded
+	}
+	w := &waiter{n: n, ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return n, a.releaseFunc(n), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		for i, q := range a.queue {
+			if q == w {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				a.mu.Unlock()
+				return 0, nil, ctx.Err()
+			}
+		}
+		a.mu.Unlock()
+		// Lost the race: the grant landed between ctx firing and the
+		// lock. Give the slots back before reporting the cancel.
+		a.release(n)
+		return 0, nil, ctx.Err()
+	}
+}
+
+// releaseFunc wraps release in a Once so a double-released query
+// cannot corrupt the accounting.
+func (a *Admission) releaseFunc(n int) func() {
+	var once sync.Once
+	return func() { once.Do(func() { a.release(n) }) }
+}
+
+// release returns n slots and grants queued waiters in FIFO order
+// while they fit.
+func (a *Admission) release(n int) {
+	a.mu.Lock()
+	a.inUse -= n
+	for len(a.queue) > 0 {
+		w := a.queue[0]
+		if a.inUse+w.n > a.budget {
+			break
+		}
+		a.inUse += w.n
+		a.queue = a.queue[1:]
+		close(w.ready)
+	}
+	a.mu.Unlock()
+}
+
+// QueueDepth reports the number of queries waiting for admission.
+func (a *Admission) QueueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queue)
+}
+
+// InUse reports the worker slots currently granted.
+func (a *Admission) InUse() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse
+}
+
+// Budget reports the total worker budget.
+func (a *Admission) Budget() int { return a.budget }
+
+// Rejected reports the cumulative count of ErrOverloaded rejections.
+func (a *Admission) Rejected() int64 { return a.rejected.Load() }

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionGrantAndClamp(t *testing.T) {
+	a := NewAdmission(4, 2)
+	n, release, err := a.Acquire(context.Background(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("granted %d, want clamp to budget 4", n)
+	}
+	if a.InUse() != 4 {
+		t.Fatalf("inUse = %d", a.InUse())
+	}
+	release()
+	release() // idempotent
+	if a.InUse() != 0 {
+		t.Fatalf("inUse after release = %d", a.InUse())
+	}
+}
+
+func TestAdmissionQueuesFIFO(t *testing.T) {
+	a := NewAdmission(2, 4)
+	_, rel1, err := a.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan int, 2)
+	for i := 1; i <= 2; i++ {
+		i := i
+		go func() {
+			_, rel, err := a.Acquire(context.Background(), 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got <- i
+			rel()
+		}()
+		// Serialize goroutine enqueue order so FIFO is observable.
+		waitFor(t, func() bool { return a.QueueDepth() == i })
+	}
+	rel1()
+	if first := <-got; first != 1 {
+		t.Fatalf("grant order: got %d first, want 1", first)
+	}
+	<-got
+}
+
+func TestAdmissionOverload(t *testing.T) {
+	a := NewAdmission(1, 1)
+	_, rel, err := a.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	// One waiter fits in the queue.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	queued := make(chan error, 1)
+	go func() {
+		_, _, err := a.Acquire(ctx, 1)
+		queued <- err
+	}()
+	waitFor(t, func() bool { return a.QueueDepth() == 1 })
+	// The next one overflows.
+	if _, _, err := a.Acquire(context.Background(), 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if a.Rejected() != 1 {
+		t.Fatalf("rejected = %d", a.Rejected())
+	}
+	// Canceling the queued waiter removes it from the queue.
+	cancel()
+	if err := <-queued; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued err = %v, want Canceled", err)
+	}
+	if a.QueueDepth() != 0 {
+		t.Fatalf("queue depth after cancel = %d", a.QueueDepth())
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

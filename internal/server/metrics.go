@@ -1,0 +1,51 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics aggregates per-query counters; everything is an atomic so
+// the query path never takes a lock for accounting. Gauges (queue
+// depth, in-flight, cache entries) are read from their owners at
+// scrape time instead of being mirrored here.
+type Metrics struct {
+	QueriesOK        atomic.Int64 // completed with a full fixpoint
+	QueriesTruncated atomic.Int64 // completed but budget-capped
+	QueriesCanceled  atomic.Int64 // deadline or client disconnect
+	QueriesFailed    atomic.Int64 // compile or execution errors
+	Rejected         atomic.Int64 // 429s from admission
+
+	LatencyNanos atomic.Int64 // summed over completed queries
+	LatencyCount atomic.Int64
+	Iterations   atomic.Int64 // local iterations, summed
+	TuplesOut    atomic.Int64 // derived tuples returned, summed
+}
+
+// gauge is one point-in-time value appended at scrape.
+type gauge struct {
+	name  string
+	help  string
+	value int64
+}
+
+// WritePrometheus renders the counters (plus caller-supplied gauges)
+// in the Prometheus text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer, gauges ...gauge) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("dcserve_queries_ok_total", "Queries that reached the fixpoint.", m.QueriesOK.Load())
+	counter("dcserve_queries_truncated_total", "Queries stopped by a tuple/iteration budget.", m.QueriesTruncated.Load())
+	counter("dcserve_queries_canceled_total", "Queries aborted by deadline or disconnect.", m.QueriesCanceled.Load())
+	counter("dcserve_queries_failed_total", "Queries that failed to compile or execute.", m.QueriesFailed.Load())
+	counter("dcserve_rejected_total", "Queries rejected with 429 by admission control.", m.Rejected.Load())
+	counter("dcserve_query_latency_nanoseconds_sum", "Summed wall time of completed queries.", m.LatencyNanos.Load())
+	counter("dcserve_query_latency_count", "Number of latency observations.", m.LatencyCount.Load())
+	counter("dcserve_iterations_total", "Local evaluation iterations, summed over queries.", m.Iterations.Load())
+	counter("dcserve_tuples_derived_total", "Derived tuples returned, summed over queries.", m.TuplesOut.Load())
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.value)
+	}
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	dcdatalog "repro"
+)
+
+// preparedCache is an LRU of compiled programs keyed by (dataset,
+// program text, parameter bindings). A hit skips the whole front end —
+// parse, safety/stratification analysis, logical planning, physical
+// compilation — and reuses the immutable physical.Program; only the
+// per-run evaluation state is rebuilt, which is exactly the part that
+// must be per-query anyway. Parameters are part of the key because
+// physical compilation bakes them into the plan.
+type preparedCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	p   *dcdatalog.Prepared
+}
+
+func newPreparedCache(capacity int) *preparedCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &preparedCache{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+// cacheKey canonicalizes the triple that determines a compiled
+// program. Params are sorted by name; values arrive as the JSON-level
+// Go values (int64 / float64 / string), whose formatting is injective
+// enough per type tag.
+func cacheKey(dataset, program string, params map[string]any) string {
+	var b strings.Builder
+	b.WriteString(dataset)
+	b.WriteByte(0)
+	b.WriteString(program)
+	names := make([]string, 0, len(params))
+	for k := range params {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "\x00%s=%T:%v", k, params[k], params[k])
+	}
+	return b.String()
+}
+
+// get returns the cached program and bumps it to most-recent, counting
+// the hit or miss.
+func (c *preparedCache) get(key string) (*dcdatalog.Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).p, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// put inserts a compiled program, evicting the least-recently-used
+// entry past capacity. Concurrent compiles of the same key may both
+// put; the second simply refreshes the entry — compiling twice is
+// wasteful but sound, and rare enough not to warrant request collapse.
+func (c *preparedCache) put(key string, p *dcdatalog.Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).p = p
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, p: p})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.byKey, el.Value.(*cacheEntry).key)
+	}
+}
+
+// stats returns (hits, misses, entries).
+func (c *preparedCache) stats() (int64, int64, int) {
+	c.mu.Lock()
+	n := c.ll.Len()
+	c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load(), n
+}

@@ -1,0 +1,172 @@
+// Package server turns the engine into a long-lived query service:
+// named datasets are loaded once and shared read-only across queries,
+// programs are compiled once per (dataset, text, params) and cached as
+// immutable physical plans, and an admission controller multiplexes
+// concurrent evaluations over a bounded machine-wide worker budget.
+// Evaluation is fully cancellable — a client disconnect or per-query
+// deadline aborts a recursion mid-fixpoint through engine.RunContext.
+package server
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	dcdatalog "repro"
+)
+
+// RelationSpec declares one relation of a dataset and names its data:
+// either inline TSV (Data) or a server-side file (Path).
+type RelationSpec struct {
+	// Name is the relation name referenced by programs.
+	Name string `json:"name"`
+	// Types lists the column types: "int", "float", "sym" (or
+	// "string").
+	Types []string `json:"types"`
+	// Data is inline tab- or whitespace-separated rows.
+	Data string `json:"data,omitempty"`
+	// Path is a server-side TSV file to load instead of Data.
+	Path string `json:"path,omitempty"`
+}
+
+// Dataset is one immutable named database: relations are loaded at
+// registration and never mutated afterwards, so any number of
+// concurrent queries share its tuples, schemas and symbol table
+// without synchronization.
+type Dataset struct {
+	Name string
+	db   *dcdatalog.Database
+	// rows counts loaded tuples per relation (for introspection).
+	rows map[string]int
+}
+
+// DB returns the dataset's frozen database.
+func (d *Dataset) DB() *dcdatalog.Database { return d.db }
+
+// Relations describes the dataset as "name(rows)" strings, sorted.
+func (d *Dataset) Relations() []string {
+	out := make([]string, 0, len(d.rows))
+	for name, n := range d.rows {
+		out = append(out, fmt.Sprintf("%s(%d)", name, n))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// parseColType maps a spec string to a column type.
+func parseColType(s string) (dcdatalog.Type, error) {
+	switch strings.TrimSpace(s) {
+	case "int":
+		return dcdatalog.Int, nil
+	case "float":
+		return dcdatalog.Float, nil
+	case "sym", "string":
+		return dcdatalog.Sym, nil
+	default:
+		return 0, fmt.Errorf("unknown column type %q (want int, float or sym)", s)
+	}
+}
+
+// BuildDataset declares and loads every relation, returning a frozen
+// dataset. Loading happens entirely before the dataset becomes
+// visible, so readers never observe a partially loaded relation.
+func BuildDataset(name string, rels []RelationSpec) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("dataset needs a name")
+	}
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("dataset %q needs at least one relation", name)
+	}
+	db := dcdatalog.NewDatabase()
+	rows := make(map[string]int, len(rels))
+	for _, r := range rels {
+		if r.Name == "" {
+			return nil, fmt.Errorf("dataset %q: relation needs a name", name)
+		}
+		cols := make([]dcdatalog.Column, len(r.Types))
+		for i, ts := range r.Types {
+			t, err := parseColType(ts)
+			if err != nil {
+				return nil, fmt.Errorf("dataset %q relation %q: %v", name, r.Name, err)
+			}
+			cols[i] = dcdatalog.Col(fmt.Sprintf("c%d", i), t)
+		}
+		if err := db.Declare(r.Name, cols...); err != nil {
+			return nil, err
+		}
+		switch {
+		case r.Path != "" && r.Data != "":
+			return nil, fmt.Errorf("dataset %q relation %q: give data or path, not both", name, r.Name)
+		case r.Path != "":
+			f, err := os.Open(r.Path)
+			if err != nil {
+				return nil, fmt.Errorf("dataset %q relation %q: %v", name, r.Name, err)
+			}
+			err = db.LoadTSV(r.Name, f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("dataset %q relation %q: %v", name, r.Name, err)
+			}
+		default:
+			if err := db.LoadTSV(r.Name, strings.NewReader(r.Data)); err != nil {
+				return nil, fmt.Errorf("dataset %q relation %q: %v", name, r.Name, err)
+			}
+		}
+		rows[r.Name] = len(db.Relation(r.Name))
+	}
+	return &Dataset{Name: name, db: db, rows: rows}, nil
+}
+
+// Registry is the named dataset registry. Registration is
+// register-once: a dataset is immutable after it appears, which is
+// what makes lock-free sharing across in-flight queries sound.
+type Registry struct {
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{datasets: make(map[string]*Dataset)}
+}
+
+// Register adds a dataset; re-registering a name is an error (replace
+// would yank relations out from under in-flight queries).
+func (r *Registry) Register(ds *Dataset) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.datasets[ds.Name]; ok {
+		return fmt.Errorf("dataset %q already registered", ds.Name)
+	}
+	r.datasets[ds.Name] = ds
+	return nil
+}
+
+// Get looks a dataset up by name.
+func (r *Registry) Get(name string) (*Dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ds, ok := r.datasets[name]
+	return ds, ok
+}
+
+// Names lists registered datasets, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.datasets))
+	for name := range r.datasets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.datasets)
+}

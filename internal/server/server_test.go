@@ -1,0 +1,370 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const tcProgram = `
+	tc(X, Y) :- arc(X, Y).
+	tc(X, Y) :- tc(X, Z), arc(Z, Y).
+`
+
+// divergingProgram never reaches a fixpoint on a cyclic graph.
+const divergingProgram = `
+	p(X, Z) :- arc(X, Y), Z = 0.
+	p(Y, M) :- p(X, N), arc(X, Y), M = N + 1.
+`
+
+// cycleTSV renders the n-cycle 0→1→…→n-1→0 as TSV.
+func cycleTSV(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d\t%d\n", i, (i+1)%n)
+	}
+	return b.String()
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func registerCycle(t *testing.T, ts *httptest.Server, name string, n int) {
+	t.Helper()
+	body, _ := json.Marshal(datasetRequest{
+		Name: name,
+		Relations: []RelationSpec{
+			{Name: "arc", Types: []string{"int", "int"}, Data: cycleTSV(n)},
+		},
+	})
+	resp, err := http.Post(ts.URL+"/v1/datasets", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("dataset registration: status %d: %s", resp.StatusCode, msg)
+	}
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, req queryRequest) (*http.Response, queryResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil && resp.StatusCode == http.StatusOK {
+		t.Fatalf("bad response body: %v", err)
+	}
+	return resp, qr
+}
+
+func TestQueryOverRegisteredDataset(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerCycle(t, ts, "graph", 16)
+	resp, qr := postQuery(t, ts, queryRequest{Dataset: "graph", Program: tcProgram, Relations: []string{"tc"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// TC of a 16-cycle is complete: 256 pairs.
+	if qr.Counts["tc"] != 256 {
+		t.Fatalf("tc count = %d, want 256", qr.Counts["tc"])
+	}
+	if qr.Cached {
+		t.Fatal("first query must be a cache miss")
+	}
+	if qr.Stats.Iterations <= 0 || qr.Stats.Workers <= 0 {
+		t.Fatalf("stats not populated: %+v", qr.Stats)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerCycle(t, ts, "graph", 8)
+	// Unknown dataset.
+	resp, _ := postQuery(t, ts, queryRequest{Dataset: "nope", Program: tcProgram})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown dataset: status %d, want 404", resp.StatusCode)
+	}
+	// Compile error.
+	resp, _ = postQuery(t, ts, queryRequest{Dataset: "graph", Program: "tc(X :- broken"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("compile error: status %d, want 400", resp.StatusCode)
+	}
+	// Duplicate dataset registration conflicts.
+	body, _ := json.Marshal(datasetRequest{Name: "graph", Relations: []RelationSpec{{Name: "arc", Types: []string{"int", "int"}, Data: "1 2\n"}}})
+	r2, err := http.Post(ts.URL+"/v1/datasets", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate dataset: status %d, want 409", r2.StatusCode)
+	}
+}
+
+func TestPreparedCacheHitMiss(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	registerCycle(t, ts, "graph", 8)
+	_, qr := postQuery(t, ts, queryRequest{Dataset: "graph", Program: tcProgram})
+	if qr.Cached {
+		t.Fatal("first execution must miss")
+	}
+	_, qr = postQuery(t, ts, queryRequest{Dataset: "graph", Program: tcProgram})
+	if !qr.Cached {
+		t.Fatal("second execution must hit the prepared cache")
+	}
+	hits, misses, entries := s.cache.stats()
+	if hits != 1 || misses != 1 || entries != 1 {
+		t.Fatalf("cache stats = hits %d misses %d entries %d, want 1/1/1", hits, misses, entries)
+	}
+	// A different param binding is a different physical program.
+	prog := `reach(Y) :- arc($start, Y). reach(Y) :- reach(X), arc(X, Y).`
+	_, qr = postQuery(t, ts, queryRequest{Dataset: "graph", Program: prog, Params: map[string]any{"start": 1}})
+	if qr.Cached {
+		t.Fatal("new param binding must miss")
+	}
+	_, qr = postQuery(t, ts, queryRequest{Dataset: "graph", Program: prog, Params: map[string]any{"start": 2}})
+	if qr.Cached {
+		t.Fatal("changed param binding must miss")
+	}
+	_, qr = postQuery(t, ts, queryRequest{Dataset: "graph", Program: prog, Params: map[string]any{"start": 2}})
+	if !qr.Cached {
+		t.Fatal("repeated param binding must hit")
+	}
+}
+
+// TestConcurrentQueries is the acceptance criterion: ≥8 concurrent TC
+// queries against one shared registered dataset, all correct.
+func TestConcurrentQueries(t *testing.T) {
+	_, ts := newTestServer(t, Config{WorkerBudget: 4, MaxQueue: 64})
+	registerCycle(t, ts, "graph", 20)
+	const concurrency = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, concurrency)
+	for i := 0; i < concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(queryRequest{Dataset: "graph", Program: tcProgram, Workers: 2, Relations: []string{"tc"}})
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var qr queryResponse
+			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, qr.Error)
+				return
+			}
+			if qr.Counts["tc"] != 400 { // TC of a 20-cycle: 20×20
+				errs <- fmt.Errorf("tc count = %d, want 400", qr.Counts["tc"])
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestDeadlineOverUnboundedRecursion is the acceptance criterion: a
+// 50ms deadline over a diverging recursion returns a deadline error in
+// under 500ms with zero leaked goroutines.
+func TestDeadlineOverUnboundedRecursion(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerCycle(t, ts, "graph", 64)
+	// Warm up with a converging query, then shut down the client's
+	// keepalive pool so idle-connection goroutines (client and server
+	// side) don't masquerade as engine leaks in the counts below.
+	postQuery(t, ts, queryRequest{Dataset: "graph", Program: tcProgram})
+	http.DefaultClient.CloseIdleConnections()
+	time.Sleep(20 * time.Millisecond)
+	base := runtime.NumGoroutine()
+
+	start := time.Now()
+	resp, _ := postQuery(t, ts, queryRequest{Dataset: "graph", Program: divergingProgram, TimeoutMS: 50})
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if elapsed >= 500*time.Millisecond {
+		t.Fatalf("50ms deadline took %s to surface (want < 500ms)", elapsed)
+	}
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Fatalf("goroutines leaked: %d before, %d after", base, n)
+	}
+}
+
+func TestBudgetTruncationVisible(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerCycle(t, ts, "graph", 8)
+	resp, qr := postQuery(t, ts, queryRequest{Dataset: "graph", Program: divergingProgram, MaxTuples: 10_000})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !qr.Truncated || qr.Error == "" {
+		t.Fatalf("truncation must be visible: truncated=%v error=%q", qr.Truncated, qr.Error)
+	}
+	if qr.Counts["p"] == 0 {
+		t.Fatal("truncated query must still return partial rows")
+	}
+}
+
+// TestOverloadReturns429: with a budget of 1 and no queue, a second
+// concurrent query is shed with 429.
+func TestOverloadReturns429(t *testing.T) {
+	s, ts := newTestServer(t, Config{WorkerBudget: 1, MaxQueue: -1})
+	registerCycle(t, ts, "graph", 64)
+	// Occupy the only slot with a diverging query bounded by timeout.
+	first := make(chan int, 1)
+	go func() {
+		resp, _ := postQuery(t, ts, queryRequest{Dataset: "graph", Program: divergingProgram, TimeoutMS: 800})
+		first <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return s.adm.InUse() == 1 })
+	resp, _ := postQuery(t, ts, queryRequest{Dataset: "graph", Program: tcProgram})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	if code := <-first; code != http.StatusGatewayTimeout {
+		t.Fatalf("occupying query: status %d, want 504", code)
+	}
+	if s.metrics.Rejected.Load() != 1 {
+		t.Fatalf("rejected metric = %d", s.metrics.Rejected.Load())
+	}
+}
+
+// TestGracefulDrain: Drain must wait for the in-flight query to finish
+// and reject new work with 503 meanwhile.
+func TestGracefulDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	registerCycle(t, ts, "graph", 64)
+
+	inFlight := make(chan int, 1)
+	go func() {
+		// Diverging query bounded by a 400ms deadline: the handler is
+		// busy for ~400ms, which Drain must sit out.
+		resp, _ := postQuery(t, ts, queryRequest{Dataset: "graph", Program: divergingProgram, TimeoutMS: 400})
+		inFlight <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return s.Inflight() == 1 })
+
+	drainStart := time.Now()
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	waitFor(t, func() bool { return s.Draining() })
+
+	// New queries are rejected while draining; healthz reports it.
+	resp, _ := postQuery(t, ts, queryRequest{Dataset: "graph", Program: tcProgram})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query during drain: status %d, want 503", resp.StatusCode)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: status %d, want 503", hresp.StatusCode)
+	}
+
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := time.Since(drainStart); got < 200*time.Millisecond {
+		t.Fatalf("drain returned after %s — before the in-flight query could have finished", got)
+	}
+	select {
+	case code := <-inFlight:
+		if code != http.StatusGatewayTimeout {
+			t.Fatalf("in-flight query: status %d, want 504", code)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight query never completed")
+	}
+	if s.Inflight() != 0 {
+		t.Fatalf("inflight after drain = %d", s.Inflight())
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerCycle(t, ts, "graph", 8)
+	postQuery(t, ts, queryRequest{Dataset: "graph", Program: tcProgram})
+	postQuery(t, ts, queryRequest{Dataset: "graph", Program: tcProgram})
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status   string   `json:"status"`
+		Datasets []string `json:"datasets"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health.Status != "ok" || len(health.Datasets) != 1 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"dcserve_queries_ok_total 2",
+		"dcserve_prepared_cache_hits_total 1",
+		"dcserve_prepared_cache_misses_total 1",
+		"dcserve_queue_depth 0",
+		"dcserve_worker_budget",
+		"dcserve_iterations_total",
+		"dcserve_tuples_derived_total",
+		"dcserve_rejected_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}
