@@ -5,6 +5,7 @@
 //	bench -exp table2         # one experiment
 //	bench -exp fig9a -workers 8 -scale 2
 //	bench -exp table2 -cpuprofile cpu.out -mutexprofile mtx.out
+//	bench -setup              # cold vs warm setup time (prepared base)
 //
 // Experiments: table2, table3, table4, fig1, fig3, fig8, fig9a, fig9b.
 package main
@@ -32,6 +33,7 @@ func realMain() int {
 	workers := flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS, min 4)")
 	seed := flag.Int64("seed", 42, "generator seed")
 	benchjson := flag.String("benchjson", "", "run the fixed tracking suite (TC, CC, SSSP, SG at 1/4/8/16 workers) and write JSON to this file ('-' = stdout)")
+	setup := flag.Bool("setup", false, "measure cold vs warm setup time (prepared-base index cache) over the tracking suite")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
@@ -81,6 +83,11 @@ func realMain() int {
 	}
 
 	cfg := bench.Config{Scale: *scale, Workers: *workers, Seed: *seed}
+
+	if *setup {
+		bench.SetupReport(cfg).Render(os.Stdout)
+		return 0
+	}
 
 	if *benchjson != "" {
 		points := bench.Trajectory(cfg)

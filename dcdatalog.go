@@ -30,6 +30,7 @@ import (
 	"maps"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/coord"
@@ -83,6 +84,16 @@ type Database struct {
 	syms    *storage.SymbolTable
 	schemas map[string]*storage.Schema
 	data    map[string][]storage.Tuple
+
+	// The shared prepared-base plane: one immutable snapshot of the
+	// loaded relations plus a memoized per-lookup-signature index
+	// cache, shared by every Prepared/Query on this database. version
+	// bumps on every load so a stale snapshot is rebuilt rather than
+	// served.
+	baseMu      sync.Mutex
+	version     int64
+	base        *engine.PreparedBase
+	baseVersion int64
 }
 
 // NewDatabase returns an empty database.
@@ -93,6 +104,44 @@ func NewDatabase() *Database {
 		data:    make(map[string][]storage.Tuple),
 	}
 }
+
+// dirty records a mutation of the loaded relations, invalidating the
+// current prepared-base snapshot.
+func (db *Database) dirty() {
+	db.baseMu.Lock()
+	db.version++
+	db.baseMu.Unlock()
+}
+
+// sharedBase returns the database's prepared base, (re)snapshotting if
+// relations were loaded since the last call. The snapshot copies slice
+// headers only; building indexes is deferred to (and memoized across)
+// the runs that need them.
+func (db *Database) sharedBase() *engine.PreparedBase {
+	db.baseMu.Lock()
+	defer db.baseMu.Unlock()
+	if db.base == nil || db.baseVersion != db.version {
+		db.base = engine.NewPreparedBase(db.schemas, db.data)
+		db.baseVersion = db.version
+	}
+	return db.base
+}
+
+// Prewarm snapshots the current relations into the shared
+// prepared-base plane eagerly, so the first query pays only index
+// builds, not snapshotting. Loading more data after Prewarm simply
+// invalidates the snapshot; long-lived services (the dcserve dataset
+// registry) call this once at registration time.
+func (db *Database) Prewarm() { db.sharedBase() }
+
+// BaseStats reports the shared EDB index cache counters: how many
+// per-run index requests were served from the cache (Hits), how many
+// performed a build (Misses), and how many distinct indexes are
+// resident.
+type BaseStats = engine.BaseStats
+
+// BaseStats returns the database's current index-cache counters.
+func (db *Database) BaseStats() BaseStats { return db.sharedBase().Stats() }
 
 // Declare registers an extensional relation's schema.
 func (db *Database) Declare(name string, cols ...Column) error {
@@ -144,6 +193,7 @@ func (db *Database) Load(name string, rows [][]any) error {
 		}
 		db.data[name] = append(db.data[name], t)
 	}
+	db.dirty()
 	return nil
 }
 
@@ -166,6 +216,7 @@ func (db *Database) LoadTuples(name string, tuples []Tuple) error {
 		}
 	}
 	db.data[name] = append(db.data[name], tuples...)
+	db.dirty()
 	return nil
 }
 
@@ -210,6 +261,7 @@ func (db *Database) LoadTSV(name string, r io.Reader) error {
 		}
 		db.data[name] = append(db.data[name], t)
 	}
+	db.dirty()
 	return sc.Err()
 }
 
@@ -441,6 +493,11 @@ type Prepared struct {
 	opts      engine.Options
 	params    map[string]physical.Param
 	broadcast bool
+	// base is the database's prepared-base snapshot captured at
+	// Prepare: every Exec attaches the same immutable tuple slices and
+	// memoized hash indexes, so only the first execution (per lookup
+	// signature) pays an index build.
+	base *engine.PreparedBase
 }
 
 // Prepare compiles a program once for repeated execution. The returned
@@ -459,6 +516,7 @@ func (db *Database) Prepare(src string, opts ...Option) (*Prepared, error) {
 		opts:      c.opts,
 		params:    c.params,
 		broadcast: c.broadcast,
+		base:      db.sharedBase(),
 	}, nil
 }
 
@@ -479,6 +537,7 @@ func (p *Prepared) Exec(ctx context.Context, opts ...Option) (*Result, error) {
 	if c.broadcast != p.broadcast || !paramsEqual(c.params, p.params) {
 		return nil, fmt.Errorf("dcdatalog: parameters and replication are fixed at Prepare; re-prepare to change them")
 	}
+	c.opts.Base = p.base
 	res, err := engine.RunContext(ctx, p.phys, p.db.data, c.opts)
 	if res == nil {
 		return nil, err

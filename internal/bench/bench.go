@@ -66,6 +66,7 @@ type dataset struct {
 // measurement is one timed engine run.
 type measurement struct {
 	seconds float64
+	setupNS int64  // pre-evaluation setup (base registration + index builds)
 	note    string // "OOM", "NS", "ERR: ..." or empty
 	tuples  int
 }
@@ -87,7 +88,11 @@ func run(ds dataset, src, output string, opts ...dcdatalog.Option) measurement {
 	if err != nil {
 		return measurement{note: "ERR: " + err.Error()}
 	}
-	return measurement{seconds: elapsed, tuples: res.Len(output)}
+	return measurement{
+		seconds: elapsed,
+		setupNS: res.Stats().SetupDuration.Nanoseconds(),
+		tuples:  res.Len(output),
+	}
 }
 
 // engineSpec is one column of the comparison tables.

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	dcdatalog "repro"
+)
+
+// SetupReport measures cold vs warm setup time over the tracking-suite
+// workloads. Cold is the first Exec of a freshly prepared program: the
+// database's prepared base exists but holds no indexes yet, so every
+// base-relation index is built from scratch. Warm is a later Exec of
+// the same Prepared, which attaches the memoized indexes instead of
+// building; it is reported as the minimum of three runs to strip
+// scheduler noise. The ratio column is the headline of the
+// prepared-base plane: warm setup should sit orders of magnitude below
+// cold on any dataset large enough for the build to register.
+func SetupReport(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:  "Setup cost: cold first run vs warm prepared-base run",
+		Header: []string{"Query", "Dataset", "Cold setup", "Warm setup", "Cold/Warm"},
+		Notes: []string{
+			"setup = base-relation registration + hash index build/attach, before evaluation starts",
+			"warm = min of 3 repeat Execs of the same Prepared (indexes served from the shared base)",
+		},
+	}
+	for _, j := range trackingJobs(cfg) {
+		db := dcdatalog.NewDatabase()
+		j.ds.load(db)
+		opts := append(append([]dcdatalog.Option(nil), j.ds.opts...), dcdatalog.WithWorkers(cfg.Workers))
+		prep, err := db.Prepare(j.query.Source, opts...)
+		if err != nil {
+			t.Rows = append(t.Rows, []string{j.query.Name, j.dsName, "ERR: " + err.Error(), "", ""})
+			continue
+		}
+		res, err := prep.Exec(context.Background())
+		if err != nil {
+			t.Rows = append(t.Rows, []string{j.query.Name, j.dsName, "ERR: " + err.Error(), "", ""})
+			continue
+		}
+		cold := res.Stats().SetupDuration
+		warm := time.Duration(0)
+		for i := 0; i < 3; i++ {
+			res, err = prep.Exec(context.Background())
+			if err != nil {
+				break
+			}
+			if d := res.Stats().SetupDuration; warm == 0 || d < warm {
+				warm = d
+			}
+		}
+		if err != nil {
+			t.Rows = append(t.Rows, []string{j.query.Name, j.dsName, cold.String(), "ERR: " + err.Error(), ""})
+			continue
+		}
+		ratio := "-"
+		if warm > 0 {
+			ratio = fmt.Sprintf("%.0fx", float64(cold)/float64(warm))
+		}
+		t.Rows = append(t.Rows, []string{j.query.Name, j.dsName, cold.String(), warm.String(), ratio})
+	}
+	return t
+}

@@ -18,8 +18,42 @@ type BenchPoint struct {
 	Dataset string  `json:"dataset"`
 	Workers int     `json:"workers"`
 	Seconds float64 `json:"seconds"`
-	Tuples  int     `json:"tuples"`
-	Note    string  `json:"note,omitempty"`
+	// SetupNS is the pre-evaluation setup time (base-relation
+	// registration + index builds) in nanoseconds; Seconds includes it.
+	SetupNS int64  `json:"setup_ns"`
+	Tuples  int    `json:"tuples"`
+	Note    string `json:"note,omitempty"`
+}
+
+// trackJob is one query × dataset cell of the fixed tracking suite.
+type trackJob struct {
+	query  queries.Query
+	dsName string
+	ds     dataset
+}
+
+// trackingJobs builds the suite's deterministic workloads (TC, CC,
+// SSSP, SG), shared by Trajectory and SetupReport.
+func trackingJobs(cfg Config) []trackJob {
+	var jobs []trackJob
+
+	tcEdges := datasets.RMATn(cfg.scaled(512), cfg.Seed)
+	jobs = append(jobs, trackJob{queries.TC(), "rmat-512", dataset{load: loadArcs(tcEdges)}})
+
+	ccEdges := datasets.Undirect(datasets.Gnp(cfg.scaled(8000), int(cfg.scaled(20000)), cfg.Seed))
+	jobs = append(jobs, trackJob{queries.CC(), "gnp-8k", dataset{load: loadArcs(ccEdges)}})
+
+	ssspEdges := datasets.Undirect(datasets.RMATn(cfg.scaled(16000), cfg.Seed))
+	wedges := datasets.Weight(ssspEdges, 100, cfg.Seed)
+	jobs = append(jobs, trackJob{queries.SSSP(), "rmat-16k", dataset{
+		load: loadWArcs(wedges),
+		opts: []dcdatalog.Option{dcdatalog.WithParam("start", whub(wedges))},
+	}})
+
+	sgEdges := datasets.Tree(6, 2, 3, cfg.Seed)
+	jobs = append(jobs, trackJob{queries.SG(), "tree-6", dataset{load: loadArcs(sgEdges)}})
+
+	return jobs
 }
 
 // Trajectory runs the fixed tracking suite — TC, CC, SSSP and SG under
@@ -30,31 +64,8 @@ func Trajectory(cfg Config) []BenchPoint {
 	cfg = cfg.withDefaults()
 	workerCounts := []int{1, 4, 8, 16}
 
-	type job struct {
-		query  queries.Query
-		dsName string
-		ds     dataset
-	}
-	var jobs []job
-
-	tcEdges := datasets.RMATn(cfg.scaled(512), cfg.Seed)
-	jobs = append(jobs, job{queries.TC(), "rmat-512", dataset{load: loadArcs(tcEdges)}})
-
-	ccEdges := datasets.Undirect(datasets.Gnp(cfg.scaled(8000), int(cfg.scaled(20000)), cfg.Seed))
-	jobs = append(jobs, job{queries.CC(), "gnp-8k", dataset{load: loadArcs(ccEdges)}})
-
-	ssspEdges := datasets.Undirect(datasets.RMATn(cfg.scaled(16000), cfg.Seed))
-	wedges := datasets.Weight(ssspEdges, 100, cfg.Seed)
-	jobs = append(jobs, job{queries.SSSP(), "rmat-16k", dataset{
-		load: loadWArcs(wedges),
-		opts: []dcdatalog.Option{dcdatalog.WithParam("start", whub(wedges))},
-	}})
-
-	sgEdges := datasets.Tree(6, 2, 3, cfg.Seed)
-	jobs = append(jobs, job{queries.SG(), "tree-6", dataset{load: loadArcs(sgEdges)}})
-
 	var points []BenchPoint
-	for _, j := range jobs {
+	for _, j := range trackingJobs(cfg) {
 		for _, w := range workerCounts {
 			// Settle the heap between cells so one cell's garbage (and
 			// the GC pacing it induced) cannot bleed into the next
@@ -68,6 +79,7 @@ func Trajectory(cfg Config) []BenchPoint {
 				Dataset: j.dsName,
 				Workers: w,
 				Seconds: m.seconds,
+				SetupNS: m.setupNS,
 				Tuples:  m.tuples,
 				Note:    m.note,
 			})

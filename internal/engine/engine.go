@@ -99,7 +99,7 @@ func Run(prog *physical.Program, edb map[string][]storage.Tuple, opts Options) (
 // what was derived.
 func RunContext(ctx context.Context, prog *physical.Program, edb map[string][]storage.Tuple, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	start := time.Now()
+	setupStart := time.Now()
 
 	rc := &runCancel{}
 	if ctx.Done() != nil {
@@ -114,21 +114,38 @@ func RunContext(ctx context.Context, prog *physical.Program, edb map[string][]st
 		}()
 	}
 
+	// Per-query setup: register base relations and index them. A
+	// relation covered by a shared PreparedBase attaches its memoized
+	// index set (built at most once across all runs); everything else
+	// builds cold, sharded over the run's worker budget.
 	store := newRelStore(prog.Plan.Analysis.Schemas)
+	register := func(name string, tuples []storage.Tuple) {
+		lookups := prog.BaseLookups[name]
+		if opts.Base != nil && opts.Base.Has(name) {
+			store.attach(name, opts.Base.Tuples(name), opts.Base.Indexes(name, lookups, opts.Workers))
+			return
+		}
+		store.add(name, tuples, lookups, opts.Workers)
+	}
 	for name := range prog.Plan.Analysis.EDB {
-		store.add(name, edb[name], prog.BaseLookups[name])
+		register(name, edb[name])
 	}
 	// EDB relations loaded but never referenced still need storing for
 	// completeness of scans.
 	for name, tuples := range edb {
 		if _, ok := store.tuples[name]; !ok {
-			store.add(name, tuples, prog.BaseLookups[name])
+			register(name, tuples)
 		}
 	}
 
+	start := time.Now()
 	res := &Result{
 		Relations: make(map[string][]storage.Tuple),
-		Stats:     Stats{Workers: opts.Workers, Strategy: opts.Strategy},
+		Stats: Stats{
+			Workers:       opts.Workers,
+			Strategy:      opts.Strategy,
+			SetupDuration: start.Sub(setupStart),
+		},
 	}
 	var budgetErr *BudgetError
 	for si, st := range prog.Strata {
@@ -359,7 +376,7 @@ func runStratum(ctx context.Context, si int, prog *physical.Program, st *physica
 				tuples = append(tuples, w.replicas[pi][0].materialize()...)
 			}
 		}
-		store.add(p.Plan.Name, tuples, prog.BaseLookups[p.Plan.Name])
+		store.add(p.Plan.Name, tuples, prog.BaseLookups[p.Plan.Name], opts.Workers)
 		run.stats.ResultTuples[p.Plan.Name] = len(tuples)
 	}
 	for i, w := range run.workers {

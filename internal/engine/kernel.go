@@ -69,11 +69,16 @@ type kframe struct {
 	key      []storage.Value
 	row      storage.Tuple
 	src      probeSrc
+	// pureKey marks a negation probe with no residual conditions
+	// beyond the key columns, so exists() collapses to a direct
+	// HashIndex.Contains bucket walk.
+	pureKey bool
 
-	// Cursor state.
-	bucket  []storage.Tuple
+	// Cursor state. Base-lookup cursors are [pos, end) row-ordinal
+	// ranges into the index arena (srcBaseLookup) or the scan slice
+	// (srcBaseScan, srcSetScan) — no per-bucket slice is materialized.
 	pos     int
-	setEnd  int // srcSetScan: set length when the cursor was opened
+	end     int
 	inc     incCursor
 	aggCur  btree.Cursor
 	aggOnce bool
@@ -136,6 +141,7 @@ func (w *worker) newKernel(r *physical.Rule) *kernel {
 					f.src = srcBaseScan
 					f.scanRows = w.run.store.scan(acc.Pred)
 				}
+				f.pureKey = len(acc.EqCols) == 0 && len(acc.PostCols) == 0 && len(acc.Assign) == 0
 				continue
 			}
 			rep := w.replicas[acc.PredIdx][acc.PathIdx]
@@ -260,14 +266,11 @@ func (f *kframe) enterJoin(slots []storage.Value) bool {
 		if f.baseIdx == nil {
 			return false
 		}
-		f.bucket = f.baseIdx.Bucket(key)
-		f.pos = 0
+		f.pos, f.end = f.baseIdx.BucketRange(key)
 	case srcBaseScan:
-		f.bucket = f.scanRows
-		f.pos = 0
+		f.pos, f.end = 0, len(f.scanRows)
 	case srcSetScan:
-		f.setEnd = f.rep.set.Len()
-		f.pos = 0
+		f.pos, f.end = 0, f.rep.set.Len()
 	case srcIncLookup:
 		f.inc = f.rep.incIdx[f.acc.LookupIdx].seek(key)
 	case srcAggGet:
@@ -286,8 +289,8 @@ func (f *kframe) advance(slots []storage.Value) bool {
 	switch f.src {
 	case srcBaseLookup:
 		idx := f.baseIdx
-		for f.pos < len(f.bucket) {
-			t := f.bucket[f.pos]
+		for f.pos < f.end {
+			t := idx.RowAt(f.pos)
 			f.pos++
 			if idx.MatchesKey(t, f.key) && f.match(t, slots) {
 				return true
@@ -295,8 +298,8 @@ func (f *kframe) advance(slots []storage.Value) bool {
 		}
 		return false
 	case srcBaseScan:
-		for f.pos < len(f.bucket) {
-			t := f.bucket[f.pos]
+		for f.pos < f.end {
+			t := f.scanRows[f.pos]
 			f.pos++
 			if f.match(t, slots) {
 				return true
@@ -305,7 +308,7 @@ func (f *kframe) advance(slots []storage.Value) bool {
 		return false
 	case srcSetScan:
 		set := f.rep.set
-		for f.pos < f.setEnd {
+		for f.pos < f.end {
 			t := set.At(f.pos)
 			f.pos++
 			if f.match(t, slots) {
@@ -398,7 +401,12 @@ func (f *kframe) exists(slots []storage.Value) bool {
 		if idx == nil {
 			return false
 		}
-		for _, t := range idx.Bucket(key) {
+		if f.pureKey {
+			return idx.Contains(key)
+		}
+		start, end := idx.BucketRange(key)
+		for r := start; r < end; r++ {
+			t := idx.RowAt(r)
 			if idx.MatchesKey(t, key) && f.match(t, slots) {
 				return true
 			}

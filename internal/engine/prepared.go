@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+// PreparedBase is the prepared-base plane: an immutable snapshot of a
+// database's extensional relations plus a growing, memoized cache of
+// hash indexes over them, keyed by lookup-column signature. The paper
+// assumes base relations are "indexed once per partition before
+// evaluation begins" (Algorithm 1, line 3); for a long-lived service
+// over frozen datasets that cost is 100% redundant after the first
+// query, so a PreparedBase shared across runs pays it exactly once per
+// distinct (relation, lookup signature) — any number of concurrent
+// RunContext calls attach the same read-only indexes for free.
+//
+// The tuple snapshot is taken at construction (slice headers are
+// copied, so later appends to the caller's slices are invisible);
+// indexes are built on demand under a per-entry once, so N concurrent
+// cold runs needing the same index trigger exactly one build and N-1
+// waiters.
+type PreparedBase struct {
+	schemas map[string]*storage.Schema
+	tuples  map[string][]storage.Tuple
+
+	mu      sync.Mutex
+	indexes map[baseIdxKey]*baseIdxEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// baseIdxKey identifies one cached index: relation name plus the
+// lookup-column signature.
+type baseIdxKey struct {
+	rel string
+	sig string
+}
+
+// baseIdxEntry is the singleflight cell for one index: the first
+// claimer builds inside the once, everyone else blocks on it and then
+// reads the settled pointer.
+type baseIdxEntry struct {
+	once sync.Once
+	idx  *storage.HashIndex
+}
+
+// colSig canonicalizes a lookup column set ("0,2").
+func colSig(cols []int) string {
+	b := make([]byte, 0, 2*len(cols))
+	for i, c := range cols {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(c), 10)
+	}
+	return string(b)
+}
+
+// NewPreparedBase snapshots the given relations into a shareable base.
+// Index construction is deferred to the first run that needs each
+// lookup signature. The schemas map may be nil; it is carried only for
+// introspection.
+func NewPreparedBase(schemas map[string]*storage.Schema, edb map[string][]storage.Tuple) *PreparedBase {
+	t := make(map[string][]storage.Tuple, len(edb))
+	for name, tuples := range edb {
+		t[name] = tuples
+	}
+	return &PreparedBase{
+		schemas: schemas,
+		tuples:  t,
+		indexes: make(map[baseIdxKey]*baseIdxEntry),
+	}
+}
+
+// Has reports whether the base snapshot covers the relation.
+func (b *PreparedBase) Has(name string) bool {
+	_, ok := b.tuples[name]
+	return ok
+}
+
+// Tuples returns the snapshot of one relation (nil when absent).
+func (b *PreparedBase) Tuples(name string) []storage.Tuple { return b.tuples[name] }
+
+// Indexes returns the relation's index set for the given lookups,
+// building any missing ones with up to `workers` goroutines. Every
+// distinct (relation, signature) pair is built at most once across all
+// concurrent callers; subsequent calls are pointer reads.
+func (b *PreparedBase) Indexes(name string, lookups [][]int, workers int) []*storage.HashIndex {
+	if len(lookups) == 0 {
+		return nil
+	}
+	idxs := make([]*storage.HashIndex, len(lookups))
+	for i, cols := range lookups {
+		key := baseIdxKey{rel: name, sig: colSig(cols)}
+		b.mu.Lock()
+		e, ok := b.indexes[key]
+		if !ok {
+			e = &baseIdxEntry{}
+			b.indexes[key] = e
+		}
+		b.mu.Unlock()
+		built := false
+		e.once.Do(func() {
+			e.idx = storage.BuildHashIndexes(b.tuples[name], [][]int{cols}, workers)[0]
+			built = true
+		})
+		if built {
+			b.misses.Add(1)
+		} else {
+			b.hits.Add(1)
+		}
+		idxs[i] = e.idx
+	}
+	return idxs
+}
+
+// BaseStats are the index-cache counters of a PreparedBase: Hits and
+// Misses count per-run index requests (a miss is the request that
+// performed the build), Indexes the distinct cached index sets.
+type BaseStats struct {
+	Hits    int64
+	Misses  int64
+	Indexes int
+}
+
+// Stats returns the current cache counters.
+func (b *PreparedBase) Stats() BaseStats {
+	b.mu.Lock()
+	n := len(b.indexes)
+	b.mu.Unlock()
+	return BaseStats{Hits: b.hits.Load(), Misses: b.misses.Load(), Indexes: n}
+}

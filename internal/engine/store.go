@@ -9,7 +9,9 @@ import (
 // shared-memory engine these are immutable during evaluation, so all
 // workers read them (and their hash indexes) without synchronization —
 // the partitioning that matters for races is confined to the recursive
-// replicas.
+// replicas. The store itself is per-run scaffolding: when a run
+// attaches a shared PreparedBase, the tuple slices and index pointers
+// it holds are owned by the base and shared across runs.
 type relStore struct {
 	schemas map[string]*storage.Schema
 	tuples  map[string][]storage.Tuple
@@ -26,13 +28,17 @@ func newRelStore(schemas map[string]*storage.Schema) *relStore {
 }
 
 // add registers a relation's tuples and builds the hash indexes the
-// compiled program needs on it.
-func (s *relStore) add(name string, tuples []storage.Tuple, lookups [][]int) {
+// compiled program needs on it, sharded over up to `workers`
+// goroutines.
+func (s *relStore) add(name string, tuples []storage.Tuple, lookups [][]int, workers int) {
 	s.tuples[name] = tuples
-	idxs := make([]*storage.HashIndex, len(lookups))
-	for i, cols := range lookups {
-		idxs[i] = storage.NewHashIndex(tuples, cols)
-	}
+	s.indexes[name] = storage.BuildHashIndexes(tuples, lookups, workers)
+}
+
+// attach registers a relation whose tuples and indexes are owned by a
+// shared PreparedBase — no per-run build happens here.
+func (s *relStore) attach(name string, tuples []storage.Tuple, idxs []*storage.HashIndex) {
+	s.tuples[name] = tuples
 	s.indexes[name] = idxs
 }
 
@@ -59,12 +65,12 @@ func (s *relStore) index(name string, idx int) *storage.HashIndex {
 }
 
 // contains reports whether any tuple matches the key on the i-th index
-// (anti-join probe).
+// (anti-join probe). The probe walks the bucket directory directly —
+// no callback, no closure allocation.
 func (s *relStore) contains(name string, idx int, key []storage.Value) bool {
-	found := false
-	s.lookup(name, idx, key, func(storage.Tuple) bool {
-		found = true
-		return false
-	})
-	return found
+	ixs := s.indexes[name]
+	if idx < len(ixs) && ixs[idx] != nil {
+		return ixs[idx].Contains(key)
+	}
+	return false
 }

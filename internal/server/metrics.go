@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 )
 
 // Metrics aggregates per-query counters; everything is an atomic so
@@ -21,6 +22,61 @@ type Metrics struct {
 	LatencyCount atomic.Int64
 	Iterations   atomic.Int64 // local iterations, summed
 	TuplesOut    atomic.Int64 // derived tuples returned, summed
+
+	// SetupSeconds distributes per-query setup time (base-relation
+	// registration + index attach/build before evaluation): warm
+	// queries against a prepared base land in the lowest buckets, cold
+	// ones in the milliseconds.
+	SetupSeconds Histogram
+}
+
+// setupBuckets are the Histogram's upper bounds in seconds. Decades
+// from 10µs to 1s: a warm index attach is microseconds, a cold build
+// on a benchmark-scale graph is milliseconds to tens of milliseconds.
+var setupBuckets = [...]float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+
+// Histogram is a fixed-bucket duration histogram with atomic cells,
+// rendered in the Prometheus histogram exposition format.
+type Histogram struct {
+	counts [len(setupBuckets) + 1]atomic.Int64 // last cell = +Inf
+	sum    atomic.Int64                        // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(setupBuckets) && s > setupBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(d.Nanoseconds())
+}
+
+// write renders the histogram (cumulative buckets, sum, count).
+func (h *Histogram) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, le := range setupBuckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatLE(le), cum)
+	}
+	cum += h.counts[len(setupBuckets)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sum.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}
+
+// formatLE renders a bucket bound the way Prometheus clients do.
+func formatLE(v float64) string { return fmt.Sprintf("%g", v) }
+
+// counter is one caller-supplied monotonic value appended at scrape
+// (for counters whose source of truth lives outside Metrics, like the
+// per-dataset EDB index caches).
+type counter struct {
+	name  string
+	help  string
+	value int64
 }
 
 // gauge is one point-in-time value appended at scrape.
@@ -30,21 +86,26 @@ type gauge struct {
 	value int64
 }
 
-// WritePrometheus renders the counters (plus caller-supplied gauges)
-// in the Prometheus text exposition format.
-func (m *Metrics) WritePrometheus(w io.Writer, gauges ...gauge) {
-	counter := func(name, help string, v int64) {
+// WritePrometheus renders the counters and the setup-time histogram
+// (plus caller-supplied counters and gauges) in the Prometheus text
+// exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer, counters []counter, gauges ...gauge) {
+	emit := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
-	counter("dcserve_queries_ok_total", "Queries that reached the fixpoint.", m.QueriesOK.Load())
-	counter("dcserve_queries_truncated_total", "Queries stopped by a tuple/iteration budget.", m.QueriesTruncated.Load())
-	counter("dcserve_queries_canceled_total", "Queries aborted by deadline or disconnect.", m.QueriesCanceled.Load())
-	counter("dcserve_queries_failed_total", "Queries that failed to compile or execute.", m.QueriesFailed.Load())
-	counter("dcserve_rejected_total", "Queries rejected with 429 by admission control.", m.Rejected.Load())
-	counter("dcserve_query_latency_nanoseconds_sum", "Summed wall time of completed queries.", m.LatencyNanos.Load())
-	counter("dcserve_query_latency_count", "Number of latency observations.", m.LatencyCount.Load())
-	counter("dcserve_iterations_total", "Local evaluation iterations, summed over queries.", m.Iterations.Load())
-	counter("dcserve_tuples_derived_total", "Derived tuples returned, summed over queries.", m.TuplesOut.Load())
+	emit("dcserve_queries_ok_total", "Queries that reached the fixpoint.", m.QueriesOK.Load())
+	emit("dcserve_queries_truncated_total", "Queries stopped by a tuple/iteration budget.", m.QueriesTruncated.Load())
+	emit("dcserve_queries_canceled_total", "Queries aborted by deadline or disconnect.", m.QueriesCanceled.Load())
+	emit("dcserve_queries_failed_total", "Queries that failed to compile or execute.", m.QueriesFailed.Load())
+	emit("dcserve_rejected_total", "Queries rejected with 429 by admission control.", m.Rejected.Load())
+	emit("dcserve_query_latency_nanoseconds_sum", "Summed wall time of completed queries.", m.LatencyNanos.Load())
+	emit("dcserve_query_latency_count", "Number of latency observations.", m.LatencyCount.Load())
+	emit("dcserve_iterations_total", "Local evaluation iterations, summed over queries.", m.Iterations.Load())
+	emit("dcserve_tuples_derived_total", "Derived tuples returned, summed over queries.", m.TuplesOut.Load())
+	for _, c := range counters {
+		emit(c.name, c.help, c.value)
+	}
+	m.SetupSeconds.write(w, "dcserve_setup_seconds", "Per-query setup time (base registration and index attach/build) in seconds.")
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.value)
 	}

@@ -116,6 +116,11 @@ func BuildDataset(name string, rels []RelationSpec) (*Dataset, error) {
 		}
 		rows[r.Name] = len(db.Relation(r.Name))
 	}
+	// Snapshot the prepared-base plane at registration: every query on
+	// this dataset shares one immutable tuple snapshot and one memoized
+	// index cache, so base indexes are built once per lookup signature
+	// for the dataset's whole lifetime.
+	db.Prewarm()
 	return &Dataset{Name: name, db: db, rows: rows}, nil
 }
 
@@ -169,4 +174,19 @@ func (r *Registry) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.datasets)
+}
+
+// BaseStats sums the shared EDB index-cache counters over every
+// registered dataset (scraped by /metrics).
+func (r *Registry) BaseStats() dcdatalog.BaseStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total dcdatalog.BaseStats
+	for _, ds := range r.datasets {
+		st := ds.db.BaseStats()
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Indexes += st.Indexes
+	}
+	return total
 }

@@ -368,3 +368,94 @@ func TestHealthzAndMetrics(t *testing.T) {
 		}
 	}
 }
+
+// chainTSV renders n disjoint 2-chains (2i → 2i+1): large enough for
+// the arc index build to cost real time, while TC over it derives
+// nothing beyond the edges themselves.
+func chainTSV(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d\t%d\n", 2*i, 2*i+1)
+	}
+	return b.String()
+}
+
+// TestWarmQuerySetupFastPath asserts the service-level payoff of the
+// prepared-base plane: on a TC-scale dataset the first query pays the
+// index build (cold setup) and every later query attaches the cached
+// indexes, reporting setup time at least 10x lower. Timing-sensitive,
+// so it takes the best of three attempts on fresh servers before
+// failing.
+func TestWarmQuerySetupFastPath(t *testing.T) {
+	data := chainTSV(60000)
+	var coldMS, warmMS float64
+	for attempt := 0; attempt < 3; attempt++ {
+		_, ts := newTestServer(t, Config{})
+		body, _ := json.Marshal(datasetRequest{
+			Name: "chains",
+			Relations: []RelationSpec{
+				{Name: "arc", Types: []string{"int", "int"}, Data: data},
+			},
+		})
+		resp, err := http.Post(ts.URL+"/v1/datasets", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("dataset registration: status %d", resp.StatusCode)
+		}
+		req := queryRequest{Dataset: "chains", Program: tcProgram, Relations: []string{"tc"}, Limit: 1}
+
+		hresp, cold := postQuery(t, ts, req)
+		if hresp.StatusCode != http.StatusOK {
+			t.Fatalf("cold query: status %d", hresp.StatusCode)
+		}
+		coldMS = cold.Stats.SetupMS
+		warmMS = coldMS
+		for i := 0; i < 3; i++ {
+			hresp, warm := postQuery(t, ts, req)
+			if hresp.StatusCode != http.StatusOK {
+				t.Fatalf("warm query: status %d", hresp.StatusCode)
+			}
+			if i > 0 && !warm.Cached {
+				t.Fatal("repeat query should hit the prepared-program cache")
+			}
+			if warm.Stats.SetupMS < warmMS {
+				warmMS = warm.Stats.SetupMS
+			}
+		}
+		if warmMS > 0 && coldMS >= 10*warmMS {
+			// The acceptance bar: warm setup at least 10x below cold.
+			mresp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			mbody, _ := io.ReadAll(mresp.Body)
+			mresp.Body.Close()
+			text := string(mbody)
+			for _, want := range []string{
+				"dcserve_edb_index_cache_hits_total",
+				"dcserve_edb_index_cache_misses_total",
+				"dcserve_setup_seconds_bucket",
+				"dcserve_setup_seconds_count 4",
+				"dcserve_edb_indexes_resident",
+			} {
+				if !strings.Contains(text, want) {
+					t.Errorf("metrics missing %q", want)
+				}
+			}
+			var hits int64
+			for _, line := range strings.Split(text, "\n") {
+				if strings.HasPrefix(line, "dcserve_edb_index_cache_hits_total ") {
+					fmt.Sscanf(line, "dcserve_edb_index_cache_hits_total %d", &hits)
+				}
+			}
+			if hits == 0 {
+				t.Error("warm queries never hit the EDB index cache")
+			}
+			return
+		}
+	}
+	t.Fatalf("warm setup (%.3fms) not 10x below cold setup (%.3fms) in 3 attempts", warmMS, coldMS)
+}

@@ -1,0 +1,255 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// mapIndex is the reference implementation the flat index replaced: a
+// Go map from key to bucket, buckets in original tuple order. Tests
+// compare the flat build against it; the benchmark keeps it as the
+// baseline.
+type mapIndex struct {
+	keyCols []int
+	buckets map[string][]Tuple
+}
+
+func newMapIndex(tuples []Tuple, keyCols []int) *mapIndex {
+	m := &mapIndex{keyCols: keyCols, buckets: make(map[string][]Tuple)}
+	for _, t := range tuples {
+		k := mapKey(t, keyCols)
+		m.buckets[k] = append(m.buckets[k], t)
+	}
+	return m
+}
+
+func mapKey(t Tuple, cols []int) string {
+	b := make([]byte, 0, 16*len(cols))
+	for _, c := range cols {
+		b = append(b, fmt.Sprintf("%x|", uint64(t[c]))...)
+	}
+	return string(b)
+}
+
+func (m *mapIndex) lookupAll(key []Value) []Tuple {
+	t := make(Tuple, len(key))
+	copy(t, key)
+	cols := make([]int, len(key))
+	for i := range cols {
+		cols[i] = i
+	}
+	return m.buckets[mapKey(t, cols)]
+}
+
+// randTuples generates width-w tuples whose key columns draw from a
+// small domain, so duplicate keys are common.
+func randTuples(n, width, domain int, seed int64) []Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Tuple, n)
+	for i := range out {
+		t := make(Tuple, width)
+		for j := range t {
+			t[j] = IntVal(int64(rng.Intn(domain)))
+		}
+		out[i] = t
+	}
+	return out
+}
+
+func keyOf(t Tuple, cols []int) []Value {
+	k := make([]Value, len(cols))
+	for i, c := range cols {
+		k[i] = t[c]
+	}
+	return k
+}
+
+// assertSameIndex checks the flat index agrees with the map reference
+// on every key that occurs, including per-bucket tuple order.
+func assertSameIndex(t *testing.T, tuples []Tuple, keyCols []int, idx *HashIndex) {
+	t.Helper()
+	ref := newMapIndex(tuples, keyCols)
+	if idx.Len() != len(tuples) {
+		t.Fatalf("Len = %d, want %d", idx.Len(), len(tuples))
+	}
+	seen := make(map[string]bool)
+	for _, tu := range tuples {
+		k := mapKey(tu, keyCols)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		key := keyOf(tu, keyCols)
+		want := ref.buckets[k]
+		got := idx.LookupAll(key)
+		if len(got) != len(want) {
+			t.Fatalf("key %v: %d matches, want %d", key, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("key %v row %d: got %v want %v (order must match insertion)", key, i, got[i], want[i])
+			}
+		}
+		if !idx.Contains(key) {
+			t.Fatalf("Contains(%v) = false for present key", key)
+		}
+	}
+	// Absent keys must probe to empty.
+	absent := []Value{IntVal(1 << 40)}
+	for len(absent) < len(keyCols) {
+		absent = append(absent, IntVal(1<<40))
+	}
+	if idx.Contains(absent) {
+		t.Fatalf("Contains(absent) = true")
+	}
+	if got := idx.LookupAll(absent); len(got) != 0 {
+		t.Fatalf("LookupAll(absent) returned %d rows", len(got))
+	}
+}
+
+func TestFlatIndexMatchesMapReference(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		width   int
+		domain  int
+		keyCols []int
+	}{
+		{"single-col-dense-dups", 500, 2, 20, []int{0}},
+		{"single-col-sparse", 500, 2, 100000, []int{0}},
+		{"composite-key", 800, 3, 12, []int{0, 2}},
+		{"all-cols-key", 300, 3, 8, []int{0, 1, 2}},
+		{"one-key-everything", 200, 2, 1, []int{0}},
+		{"tiny", 3, 2, 4, []int{1}},
+		{"empty", 0, 2, 4, []int{0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tuples := randTuples(tc.n, tc.width, tc.domain, 7)
+			idx := NewHashIndex(tuples, tc.keyCols)
+			assertSameIndex(t, tuples, tc.keyCols, idx)
+		})
+	}
+}
+
+func TestFlatIndexLookupEarlyStop(t *testing.T) {
+	tuples := randTuples(100, 2, 1, 3) // all rows share one key
+	idx := NewHashIndex(tuples, []int{0})
+	calls := 0
+	idx.Lookup(keyOf(tuples[0], []int{0}), func(Tuple) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Fatalf("callback ran %d times, want 5 (early stop)", calls)
+	}
+}
+
+// TestParallelBuildMatchesSequential drives BuildHashIndexes over a
+// tuple set large enough to take the sharded path and checks every
+// produced index byte-for-byte against the sequential build — same
+// buckets, same per-bucket order.
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	n := parallelBuildMin * 2
+	tuples := randTuples(n, 3, 512, 11)
+	lookups := [][]int{{0}, {1}, {0, 2}}
+	par := BuildHashIndexes(tuples, lookups, 4)
+	if len(par) != len(lookups) {
+		t.Fatalf("got %d indexes, want %d", len(par), len(lookups))
+	}
+	for i, cols := range lookups {
+		seq := NewHashIndex(tuples, cols)
+		if par[i].Len() != seq.Len() {
+			t.Fatalf("lookup %v: parallel Len %d != sequential %d", cols, par[i].Len(), seq.Len())
+		}
+		for _, tu := range tuples[:512] { // spot-check a prefix of keys
+			key := keyOf(tu, cols)
+			a, b := par[i].LookupAll(key), seq.LookupAll(key)
+			if len(a) != len(b) {
+				t.Fatalf("lookup %v key %v: %d vs %d rows", cols, key, len(a), len(b))
+			}
+			for j := range a {
+				if !a[j].Equal(b[j]) {
+					t.Fatalf("lookup %v key %v row %d: %v vs %v", cols, key, j, a[j], b[j])
+				}
+			}
+		}
+		assertSameIndex(t, tuples, cols, par[i])
+	}
+}
+
+func TestParallelBuildSmallFallsBackToSequential(t *testing.T) {
+	tuples := randTuples(64, 2, 8, 5)
+	idxs := BuildHashIndexes(tuples, [][]int{{0}, {1}}, 8)
+	for i, cols := range [][]int{{0}, {1}} {
+		assertSameIndex(t, tuples, cols, idxs[i])
+	}
+}
+
+func TestBuildHashIndexesEmptyLookups(t *testing.T) {
+	if got := BuildHashIndexes(randTuples(10, 2, 4, 1), nil, 4); len(got) != 0 {
+		t.Fatalf("expected no indexes, got %d", len(got))
+	}
+}
+
+// mapRepackBuild replicates the build this PR replaced: hash-keyed map
+// of append-grown buckets, repacked into one arena in bucket order. It
+// is the benchmark baseline.
+func mapRepackBuild(tuples []Tuple, keyCols []int) map[uint64][]Tuple {
+	buckets := make(map[uint64][]Tuple, len(tuples))
+	words := 0
+	for _, t := range tuples {
+		h := t.HashOn(keyCols)
+		buckets[h] = append(buckets[h], t)
+		words += len(t)
+	}
+	arena := make([]Value, 0, words)
+	for h, bucket := range buckets {
+		for i, t := range bucket {
+			off := len(arena)
+			arena = append(arena, t...)
+			bucket[i] = Tuple(arena[off:len(arena):len(arena)])
+		}
+		buckets[h] = bucket
+	}
+	return buckets
+}
+
+// BenchmarkIndexBuild compares the flat two-pass counting build against
+// the map-and-repack build it replaced (acceptance criterion: flat
+// beats map).
+func BenchmarkIndexBuild(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		tuples := randTuples(n, 2, n/4, 42)
+		b.Run(fmt.Sprintf("flat/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				NewHashIndex(tuples, []int{0})
+			}
+		})
+		b.Run(fmt.Sprintf("map/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mapRepackBuild(tuples, []int{0})
+			}
+		})
+	}
+}
+
+func BenchmarkIndexProbe(b *testing.B) {
+	const n = 100_000
+	tuples := randTuples(n, 2, n/4, 42)
+	idx := NewHashIndex(tuples, []int{0})
+	keys := make([][]Value, 1024)
+	for i := range keys {
+		keys[i] = keyOf(tuples[i*97%n], []int{0})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !idx.Contains(keys[i%len(keys)]) {
+			b.Fatal("missing key")
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package dcdatalog
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/queries"
+	"repro/internal/storage"
+)
+
+// paperQueryData builds a small deterministic EDB loader plus the
+// required parameter options for one paper query.
+func paperQueryData(t *testing.T, q queries.Query) (func(*Database), []Option) {
+	t.Helper()
+	seed := int64(5)
+	edges := datasets.Gnp(100, 300, seed)
+	declareAll := func(db *Database) {
+		for _, s := range q.EDB {
+			if err := db.DeclareSchema(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	switch q.Name {
+	case "TC", "CC", "SG":
+		return func(db *Database) {
+			declareAll(db)
+			if err := db.LoadTuples("arc", datasets.EdgeTuples(edges)); err != nil {
+				t.Fatal(err)
+			}
+		}, nil
+	case "SSSP", "APSP":
+		w := datasets.Weight(edges, 100, seed)
+		var opts []Option
+		if q.Name == "SSSP" {
+			opts = append(opts, WithParam("start", w[0].Src))
+		}
+		return func(db *Database) {
+			declareAll(db)
+			if err := db.LoadTuples("warc", datasets.WEdgeTuples(w)); err != nil {
+				t.Fatal(err)
+			}
+		}, opts
+	case "PR":
+		deg := map[int64]int64{}
+		verts := map[int64]bool{}
+		for _, e := range edges {
+			deg[e.Src]++
+			verts[e.Src], verts[e.Dst] = true, true
+		}
+		tuples := make([]storage.Tuple, len(edges))
+		for i, e := range edges {
+			tuples[i] = storage.Tuple{storage.IntVal(e.Src), storage.IntVal(e.Dst), storage.FloatVal(float64(deg[e.Src]))}
+		}
+		vnum := float64(len(verts))
+		return func(db *Database) {
+			declareAll(db)
+			if err := db.LoadTuples("matrix", tuples); err != nil {
+				t.Fatal(err)
+			}
+		}, []Option{WithParam("alpha", 0.85), WithParam("vnum", vnum)}
+	case "Attend":
+		rng := rand.New(rand.NewSource(seed))
+		var friends [][]any
+		for i := 0; i < 200; i++ {
+			friends = append(friends, []any{rng.Intn(30) + 1, rng.Intn(30) + 1})
+		}
+		return func(db *Database) {
+			declareAll(db)
+			db.MustLoad("organizer", [][]any{{1}, {2}, {3}})
+			db.MustLoad("friend", friends)
+		}, nil
+	case "Delivery":
+		bom := datasets.NTree(400, seed)
+		return func(db *Database) {
+			declareAll(db)
+			if err := db.LoadTuples("assbl", bom.Assbl); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.LoadTuples("basic", bom.Basic); err != nil {
+				t.Fatal(err)
+			}
+		}, nil
+	}
+	t.Fatalf("no data builder for query %s", q.Name)
+	return nil, nil
+}
+
+// assertSameRows compares two decoded result sets. Rows are matched on
+// their non-float columns (unique for every paper query: either the
+// whole all-int row, or PageRank's vertex key); float columns compare
+// within a relative tolerance, since parallel float summation makes
+// sub-epsilon noise legitimate.
+func assertSameRows(t *testing.T, got, want [][]any) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("row count diverged: %d vs %d", len(got), len(want))
+	}
+	key := func(r []any) string {
+		s := ""
+		for _, v := range r {
+			if _, ok := v.(float64); ok {
+				continue
+			}
+			s += fmt.Sprint(v) + ","
+		}
+		return s
+	}
+	byKey := func(rows [][]any) {
+		sort.Slice(rows, func(i, j int) bool { return key(rows[i]) < key(rows[j]) })
+	}
+	byKey(got)
+	byKey(want)
+	for i := range got {
+		if key(got[i]) != key(want[i]) {
+			t.Fatalf("row %d key diverged: %v vs %v", i, got[i], want[i])
+		}
+		for j := range got[i] {
+			g, ok := got[i][j].(float64)
+			if !ok {
+				continue
+			}
+			w := want[i][j].(float64)
+			tol := 1e-6 * math.Max(1, math.Abs(w))
+			if math.Abs(g-w) > tol {
+				t.Fatalf("row %d col %d: %g vs %g (beyond tolerance)", i, j, g, w)
+			}
+		}
+	}
+}
+
+// TestPreparedBaseDifferentialAllQueries runs every paper query under
+// each coordination strategy twice — cold (fresh database, plain
+// Query) and warm (one database, Prepare once, Exec repeatedly so the
+// second Exec attaches cached indexes) — and requires identical
+// results.
+func TestPreparedBaseDifferentialAllQueries(t *testing.T) {
+	strategies := []struct {
+		name string
+		s    Strategy
+	}{{"global", Global}, {"ssp", SSP}, {"dws", DWS}}
+	for _, q := range queries.All() {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			load, params := paperQueryData(t, q)
+			for _, st := range strategies {
+				st := st
+				t.Run(st.name, func(t *testing.T) {
+					opts := append([]Option{WithWorkers(3), WithStrategy(st.s)}, params...)
+
+					cold := NewDatabase()
+					load(cold)
+					coldRes, err := cold.Query(q.Source, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					warm := NewDatabase()
+					load(warm)
+					prep, err := warm.Prepare(q.Source, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := prep.Exec(context.Background()); err != nil {
+						t.Fatal(err)
+					}
+					warmRes, err := prep.Exec(context.Background())
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					assertSameRows(t, warmRes.Rows(q.Output), coldRes.Rows(q.Output))
+					// Programs whose plan probes base relations must hit
+					// the cache on the second Exec; APSP only scans warc,
+					// so its cache legitimately stays empty.
+					if bs := warm.BaseStats(); bs.Indexes > 0 && bs.Hits == 0 {
+						t.Fatalf("second Exec should hit the shared index cache, stats: %+v", bs)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestLoadInvalidatesPreparedBase checks the version guard: loading
+// more tuples after queries must be reflected by later queries instead
+// of being masked by a stale base snapshot.
+func TestLoadInvalidatesPreparedBase(t *testing.T) {
+	db := NewDatabase()
+	db.MustDeclare("arc", Col("x", Int), Col("y", Int))
+	db.MustLoad("arc", [][]any{{1, 2}, {2, 3}})
+	src := `
+		tc(X, Y) :- arc(X, Y).
+		tc(X, Y) :- tc(X, Z), arc(Z, Y).
+	`
+	res, err := db.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Len("tc"); got != 3 {
+		t.Fatalf("tc = %d, want 3", got)
+	}
+	db.MustLoad("arc", [][]any{{3, 4}})
+	res, err = db.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Len("tc"); got != 6 {
+		t.Fatalf("after load, tc = %d, want 6 (stale prepared base served?)", got)
+	}
+}
+
+// TestBaseStatsAccumulate checks the public counters move as queries
+// warm the cache.
+func TestBaseStatsAccumulate(t *testing.T) {
+	db := NewDatabase()
+	db.MustDeclare("arc", Col("x", Int), Col("y", Int))
+	db.MustLoad("arc", [][]any{{1, 2}, {2, 3}, {3, 4}})
+	src := `
+		tc(X, Y) :- arc(X, Y).
+		tc(X, Y) :- tc(X, Z), arc(Z, Y).
+	`
+	for i := 0; i < 3; i++ {
+		if _, err := db.Query(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bs := db.BaseStats()
+	if bs.Misses == 0 || bs.Indexes == 0 {
+		t.Fatalf("no index was ever built through the base: %+v", bs)
+	}
+	if bs.Hits == 0 {
+		t.Fatalf("repeat queries never hit the shared cache: %+v", bs)
+	}
+}
