@@ -7,7 +7,8 @@
 //	bench -exp table2 -cpuprofile cpu.out -mutexprofile mtx.out
 //	bench -setup              # cold vs warm setup time (prepared base)
 //
-// Experiments: table2, table3, table4, fig1, fig3, fig8, fig9a, fig9b.
+// Experiments: table2, table3, table4, fig1, fig3, fig8, fig9a, fig9b,
+// probes (tag-reject / key-skip / Bloom-skip rates on the tracking suite).
 package main
 
 import (
@@ -28,7 +29,7 @@ func main() {
 // realMain carries the exit code out so the profile-writing defers run;
 // os.Exit in main would discard them.
 func realMain() int {
-	exp := flag.String("exp", "all", "experiment to run: all, table2, table3, table4, fig1, fig3, fig8, fig9a, fig9b")
+	exp := flag.String("exp", "all", "experiment to run: all, table2, table3, table4, fig1, fig3, fig8, fig9a, fig9b, probes")
 	scale := flag.Float64("scale", 1, "dataset scale multiplier")
 	workers := flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS, min 4)")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -117,8 +118,9 @@ func realMain() int {
 		"fig8":   func() []*bench.Table { return []*bench.Table{bench.Figure8(cfg)} },
 		"fig9a":  func() []*bench.Table { return bench.Figure9a(cfg) },
 		"fig9b":  func() []*bench.Table { return []*bench.Table{bench.Figure9b(cfg)} },
+		"probes": func() []*bench.Table { return []*bench.Table{bench.ProbeReport(cfg)} },
 	}
-	order := []string{"fig3", "fig1", "table2", "table3", "table4", "fig8", "fig9a", "fig9b"}
+	order := []string{"fig3", "fig1", "table2", "table3", "table4", "fig8", "fig9a", "fig9b", "probes"}
 
 	var selected []string
 	switch *exp {

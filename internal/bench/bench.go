@@ -69,6 +69,7 @@ type measurement struct {
 	setupNS int64  // pre-evaluation setup (base registration + index builds)
 	note    string // "OOM", "NS", "ERR: ..." or empty
 	tuples  int
+	probe   storage.ProbeCounters // memory-level probe statistics
 }
 
 // run executes one query configuration against a fresh database.
@@ -92,6 +93,7 @@ func run(ds dataset, src, output string, opts ...dcdatalog.Option) measurement {
 		seconds: elapsed,
 		setupNS: res.Stats().SetupDuration.Nanoseconds(),
 		tuples:  res.Len(output),
+		probe:   res.Stats().Probe,
 	}
 }
 

@@ -23,6 +23,18 @@ type BenchPoint struct {
 	SetupNS int64  `json:"setup_ns"`
 	Tuples  int    `json:"tuples"`
 	Note    string `json:"note,omitempty"`
+	// Probe-path counters (PR7): how the tagged directories, audited
+	// buckets and Bloom guards behaved during the run. Counts are raw;
+	// the *_rate fields are the derived ratios cmd/bench prints.
+	ProbeTagProbes     int64   `json:"probe_tag_probes"`
+	ProbeTagRejects    int64   `json:"probe_tag_rejects"`
+	ProbeKeyCompares   int64   `json:"probe_key_compares"`
+	ProbeKeySkips      int64   `json:"probe_key_skips"`
+	ProbeBloomChecks   int64   `json:"probe_bloom_checks"`
+	ProbeBloomSkips    int64   `json:"probe_bloom_skips"`
+	ProbeTagRejectRate float64 `json:"probe_tag_reject_rate"`
+	ProbeKeySkipRate   float64 `json:"probe_key_skip_rate"`
+	ProbeBloomSkipRate float64 `json:"probe_bloom_skip_rate"`
 }
 
 // trackJob is one query × dataset cell of the fixed tracking suite.
@@ -75,13 +87,22 @@ func Trajectory(cfg Config) []BenchPoint {
 			runtime.GC()
 			m := run(j.ds, j.query.Source, j.query.Output, dcdatalog.WithWorkers(w))
 			points = append(points, BenchPoint{
-				Query:   j.query.Name,
-				Dataset: j.dsName,
-				Workers: w,
-				Seconds: m.seconds,
-				SetupNS: m.setupNS,
-				Tuples:  m.tuples,
-				Note:    m.note,
+				Query:              j.query.Name,
+				Dataset:            j.dsName,
+				Workers:            w,
+				Seconds:            m.seconds,
+				SetupNS:            m.setupNS,
+				Tuples:             m.tuples,
+				Note:               m.note,
+				ProbeTagProbes:     m.probe.TagProbes,
+				ProbeTagRejects:    m.probe.TagRejects,
+				ProbeKeyCompares:   m.probe.KeyCompares,
+				ProbeKeySkips:      m.probe.KeySkips,
+				ProbeBloomChecks:   m.probe.BloomChecks,
+				ProbeBloomSkips:    m.probe.BloomSkips,
+				ProbeTagRejectRate: m.probe.TagRejectRate(),
+				ProbeKeySkipRate:   m.probe.KeySkipRate(),
+				ProbeBloomSkipRate: m.probe.BloomSkipRate(),
 			})
 		}
 	}

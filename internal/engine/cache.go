@@ -1,6 +1,11 @@
 package engine
 
-import "repro/internal/storage"
+import (
+	"unsafe"
+
+	"repro/internal/prefetch"
+	"repro/internal/storage"
+)
 
 // existCache is the constant-time existence-check cache of paper
 // §6.2.2: a direct-mapped array of (group-key, aggregate) pairs sitting
@@ -80,7 +85,11 @@ type incIndex struct {
 	head  []int32 // bucket -> most recent entry, -1 when empty
 	next  []int32 // entry -> previous entry in the same bucket
 	khash []uint64
-	ids   []int32 // entry -> view index in set
+	// ktag mirrors khash with the 1-byte directory tag (storage.TagOf):
+	// a chain walk scans the byte lane and touches the 8-byte hash —
+	// and the set tuple behind it — only on a tag match.
+	ktag []uint8
+	ids  []int32 // entry -> view index in set
 }
 
 const incIndexMinBuckets = 16
@@ -109,6 +118,7 @@ func (ix *incIndex) add(id int32) {
 	ix.next = append(ix.next, ix.head[b])
 	ix.head[b] = int32(len(ix.ids))
 	ix.khash = append(ix.khash, h)
+	ix.ktag = append(ix.ktag, storage.TagOf(h))
 	ix.ids = append(ix.ids, id)
 }
 
@@ -128,11 +138,14 @@ func (ix *incIndex) grow() {
 }
 
 // lookup streams tuples matching the key until fn returns false
-// (most-recently-indexed first).
+// (most-recently-indexed first). Non-kernel callers don't carry probe
+// counters; the stack-local bag keeps the cursor API uniform without
+// sharing a discard sink across goroutines.
 func (ix *incIndex) lookup(key []storage.Value, fn func(storage.Tuple) bool) {
+	var pc storage.ProbeCounters
 	c := ix.seek(key)
 	for {
-		t, ok := c.next(key)
+		t, ok := c.next(key, &pc)
 		if !ok {
 			return
 		}
@@ -153,19 +166,48 @@ type incCursor struct {
 
 // seek positions a cursor on the chain for key (most recent first).
 func (ix *incIndex) seek(key []storage.Value) incCursor {
-	h := storage.HashValues(key)
+	return ix.seekHash(storage.HashValues(key))
+}
+
+// seekHash is seek for callers that already hold the key hash — the
+// staged pipeline hashes a probe group ahead of the walk and resolves
+// the chain heads here without touching the key again.
+func (ix *incIndex) seekHash(h uint64) incCursor {
 	return incCursor{ix: ix, i: ix.head[h&ix.mask], h: h}
 }
 
+// prefetchHead hints the chain-head word a seekHash(h) will load.
+func (ix *incIndex) prefetchHead(h uint64) {
+	prefetch.T0(unsafe.Pointer(&ix.head[h&ix.mask]))
+}
+
+// prefetchEntry hints a resolved chain entry's tag/hash lane lines.
+func (ix *incIndex) prefetchEntry(i int32) {
+	if i >= 0 {
+		prefetch.T0(unsafe.Pointer(&ix.ktag[i]))
+		prefetch.T0(unsafe.Pointer(&ix.khash[i]))
+	}
+}
+
 // next returns the next tuple whose key columns equal key, advancing the
-// cursor past it; ok is false when the chain is exhausted.
-func (c *incCursor) next(key []storage.Value) (storage.Tuple, bool) {
+// cursor past it; ok is false when the chain is exhausted. Chain
+// positions are screened through the byte tag lane first, then the
+// cached 64-bit hash; only a full hash match loads the set tuple for
+// the key compare.
+func (c *incCursor) next(key []storage.Value, pc *storage.ProbeCounters) (storage.Tuple, bool) {
 	ix := c.ix
+	tg := storage.TagOf(c.h)
 	for i := c.i; i >= 0; i = ix.next[i] {
+		pc.TagProbes++
+		if ix.ktag[i] != tg {
+			pc.TagRejects++
+			continue
+		}
 		if ix.khash[i] != c.h {
 			continue
 		}
 		t := ix.set.At(int(ix.ids[i]))
+		pc.KeyCompares++
 		match := true
 		for j, col := range ix.cols {
 			if t[col] != key[j] {

@@ -157,6 +157,7 @@ func RunContext(ctx context.Context, prog *physical.Program, edb map[string][]st
 			return nil, err
 		}
 		res.Stats.Strata = append(res.Stats.Strata, *ss)
+		res.Stats.Probe.Add(ss.Probe)
 		if ss.Capped && budgetErr == nil {
 			budgetErr = &BudgetError{Stratum: si, Preds: ss.Preds, Tuples: ss.TuplesDerived}
 		}
@@ -383,6 +384,7 @@ func runStratum(ctx context.Context, si int, prog *physical.Program, st *physica
 		run.stats.LocalIters[i] = w.localIters
 		run.stats.WaitTime[i] = w.waitTime
 		run.stats.TuplesMerged += w.merged
+		run.stats.Probe.Add(w.pc)
 		if w.droppedDeltas {
 			run.stats.Capped = true
 		}

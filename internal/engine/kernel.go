@@ -74,14 +74,78 @@ type kframe struct {
 	// HashIndex.Contains bucket walk.
 	pureKey bool
 
+	// pc points at the owning worker's probe-counter bag; every
+	// directory walk, key compare and Bloom consultation below charges
+	// it (plain int64s, single writer).
+	pc *storage.ProbeCounters
+	// bloom is the frame's guard state (see bloomState). BloomAuto join
+	// frames start in bloomWarm, counting probes/hits until the warmup
+	// window closes; the decision then freezes into bloomGuard or
+	// bloomPass so the steady-state probe carries one byte compare of
+	// bookkeeping instead of two counters and a ratio.
+	bloom       bloomState
+	bloomProbes int32
+	bloomHits   int32
+
 	// Cursor state. Base-lookup cursors are [pos, end) row-ordinal
 	// ranges into the index arena (srcBaseLookup) or the scan slice
 	// (srcBaseScan, srcSetScan) — no per-bucket slice is materialized.
+	// keyOK marks an audited (Keyed) base bucket whose first row already
+	// verified the probe key: the rest of the walk skips key compares.
 	pos     int
 	end     int
+	keyOK   bool
 	inc     incCursor
 	aggCur  btree.Cursor
 	aggOnce bool
+}
+
+// bloomState is a join frame's frozen-or-warming Bloom-guard decision.
+type bloomState uint8
+
+const (
+	// bloomPass walks the directory unguarded (BloomOff, or a warmed-up
+	// BloomAuto frame whose probes mostly hit).
+	bloomPass bloomState = iota
+	// bloomGuard consults the index's Bloom filter before every walk
+	// (BloomForce; anti-joins under BloomAuto; warmed-up miss-heavy
+	// BloomAuto join frames).
+	bloomGuard
+	// bloomWarm counts probes and hits until the warmup window closes,
+	// then freezes into bloomGuard or bloomPass (BloomAuto join frames).
+	bloomWarm
+)
+
+// bloomWarmup is the probe count after which a bloomWarm frame freezes
+// its guard decision: guard only if fewer than 1/4 of the warmup
+// probes hit.
+const bloomWarmup = 512
+
+// decideBloom closes a frame's warmup window.
+func (f *kframe) decideBloom() {
+	if f.bloomHits < f.bloomProbes/4 {
+		f.bloom = bloomGuard
+	} else {
+		f.bloom = bloomPass
+	}
+}
+
+// initBloom derives the frame's starting guard state from the run
+// policy. Anti-join existence probes are guarded whenever guards are
+// allowed at all — absence is the answer negation is looking for.
+func (f *kframe) initBloom(mode BloomMode) {
+	switch mode {
+	case BloomOff:
+		f.bloom = bloomPass
+	case BloomForce:
+		f.bloom = bloomGuard
+	default:
+		if f.kind == physical.OpNeg {
+			f.bloom = bloomGuard
+		} else {
+			f.bloom = bloomWarm
+		}
+	}
 }
 
 // kernel is one worker's executable form of one rule variant: the frame
@@ -94,6 +158,13 @@ type kernel struct {
 	last       int
 	outer      *physical.Access
 	outerTypes []storage.Type
+	// pf is the frame index of the rule's first join when that join is
+	// lookup-shaped (base hash index or incremental index) and every
+	// frame before it is a pure filter (cond/let) — the shape the
+	// staged probe pipeline can hash and prefetch a group ahead
+	// (pipeline.go). -1 when the rule doesn't pipeline.
+	pf    int
+	pfSrc probeSrc
 }
 
 // kernelHook, when non-nil, observes the probe sources of every
@@ -112,6 +183,7 @@ func (w *worker) newKernel(r *physical.Rule) *kernel {
 		frames: make([]kframe, len(r.Ops)),
 		last:   len(r.Ops) - 1,
 		outer:  r.Outer,
+		pf:     -1,
 	}
 	if r.Outer != nil {
 		k.outerTypes = w.run.types[r.Outer.Pred]
@@ -121,6 +193,8 @@ func (w *worker) newKernel(r *physical.Rule) *kernel {
 		f := &k.frames[i]
 		f.kind = op.Kind
 		f.prevJoin = r.PrevJoin[i]
+		f.pc = &w.pc
+		f.initBloom(w.run.opts.Bloom)
 		switch op.Kind {
 		case physical.OpCond:
 			f.cmp, f.l, f.r = op.Cmp, op.L, op.R
@@ -162,6 +236,21 @@ func (w *worker) newKernel(r *physical.Rule) *kernel {
 				f.row = make(storage.Tuple, rep.groupLen+1)
 			}
 		}
+	}
+	// Locate the pipeline frame: the first join, provided nothing but
+	// pure filters precede it and its cursor is lookup-shaped. OpNeg
+	// before the first join blocks pipelining (its existence probe is a
+	// side walk the stages don't model).
+	for i := range k.frames {
+		f := &k.frames[i]
+		if f.kind == physical.OpCond || f.kind == physical.OpLet {
+			continue
+		}
+		if f.kind == physical.OpJoin &&
+			((f.src == srcBaseLookup && f.baseIdx != nil) || f.src == srcIncLookup) {
+			k.pf, k.pfSrc = i, f.src
+		}
+		break
 	}
 	if kernelHook != nil {
 		var srcs []probeSrc
@@ -209,9 +298,15 @@ func (w *worker) exec(k *kernel) {
 		w.emit(k.rule, k.slots)
 		return
 	}
+	w.execLoop(k, 0, true)
+}
+
+// execLoop is the frame walk itself, parameterized on the start
+// position so the staged pipeline (pipeline.go) can resume a kernel at
+// its pipeline frame with the cursor already resolved (entering=false
+// advances the installed cursor instead of re-probing).
+func (w *worker) execLoop(k *kernel, lvl int, entering bool) {
 	slots := k.slots
-	lvl := 0
-	entering := true
 	for {
 		f := &k.frames[lvl]
 		var ok bool
@@ -263,10 +358,33 @@ func (f *kframe) enterJoin(slots []storage.Value) bool {
 	f.key = key
 	switch f.src {
 	case srcBaseLookup:
-		if f.baseIdx == nil {
+		idx := f.baseIdx
+		if idx == nil {
 			return false
 		}
-		f.pos, f.end = f.baseIdx.BucketRange(key)
+		h := storage.HashValues(key)
+		f.keyOK = false
+		switch f.bloom {
+		case bloomGuard:
+			f.pc.BloomChecks++
+			if !idx.MayContain(h) {
+				f.pc.BloomSkips++
+				f.pos, f.end = 0, 0
+				return false
+			}
+			f.pos, f.end = idx.ProbeRange(h, f.pc)
+		case bloomWarm:
+			f.pos, f.end = idx.ProbeRange(h, f.pc)
+			f.bloomProbes++
+			if f.pos < f.end {
+				f.bloomHits++
+			}
+			if f.bloomProbes >= bloomWarmup {
+				f.decideBloom()
+			}
+		default: // bloomPass: steady state, no guard bookkeeping
+			f.pos, f.end = idx.ProbeRange(h, f.pc)
+		}
 	case srcBaseScan:
 		f.pos, f.end = 0, len(f.scanRows)
 	case srcSetScan:
@@ -292,7 +410,25 @@ func (f *kframe) advance(slots []storage.Value) bool {
 		for f.pos < f.end {
 			t := idx.RowAt(f.pos)
 			f.pos++
-			if idx.MatchesKey(t, f.key) && f.match(t, slots) {
+			if f.keyOK {
+				// Audited bucket, key already verified on an earlier
+				// row: accept the row without touching its key words.
+				f.pc.KeySkips++
+			} else {
+				f.pc.KeyCompares++
+				if !idx.MatchesKey(t, f.key) {
+					if idx.Keyed() {
+						// Single-key bucket holding a different key (a
+						// true 64-bit collision with the probe hash):
+						// no row here can match.
+						f.pos = f.end
+						return false
+					}
+					continue
+				}
+				f.keyOK = idx.Keyed()
+			}
+			if f.match(t, slots) {
 				return true
 			}
 		}
@@ -318,7 +454,7 @@ func (f *kframe) advance(slots []storage.Value) bool {
 		return false
 	case srcIncLookup:
 		for {
-			t, ok := f.inc.next(f.key)
+			t, ok := f.inc.next(f.key, f.pc)
 			if !ok {
 				return false
 			}
@@ -401,13 +537,34 @@ func (f *kframe) exists(slots []storage.Value) bool {
 		if idx == nil {
 			return false
 		}
-		if f.pureKey {
-			return idx.Contains(key)
+		h := storage.HashValues(key)
+		if f.bloom == bloomGuard {
+			f.pc.BloomChecks++
+			if !idx.MayContain(h) {
+				f.pc.BloomSkips++
+				return false
+			}
 		}
-		start, end := idx.BucketRange(key)
+		if f.pureKey {
+			return idx.ContainsProbe(h, key, f.pc)
+		}
+		start, end := idx.ProbeRange(h, f.pc)
+		keyOK := false
 		for r := start; r < end; r++ {
 			t := idx.RowAt(r)
-			if idx.MatchesKey(t, key) && f.match(t, slots) {
+			if keyOK {
+				f.pc.KeySkips++
+			} else {
+				f.pc.KeyCompares++
+				if !idx.MatchesKey(t, key) {
+					if idx.Keyed() {
+						return false
+					}
+					continue
+				}
+				keyOK = idx.Keyed()
+			}
+			if f.match(t, slots) {
 				return true
 			}
 		}

@@ -8,6 +8,28 @@ import (
 	"repro/internal/storage"
 )
 
+// BloomMode selects when join probes consult the per-index Bloom
+// guards built alongside the base hash indexes.
+type BloomMode uint8
+
+const (
+	// BloomAuto (the default) always guards anti-join existence probes
+	// — a negative answer proves absence, which is exactly the common
+	// case negation is checking — and guards positive join probes
+	// adaptively: a frame walks its first bloomWarmup probes unguarded
+	// while counting hits, then freezes the decision — guard from then
+	// on if fewer than a quarter hit, otherwise never guard (and pay no
+	// further bookkeeping). High-hit-rate joins (the recursive tracking
+	// queries) never pay the extra block load.
+	BloomAuto BloomMode = iota
+	// BloomOff never consults the guards (ablation / differential
+	// testing).
+	BloomOff
+	// BloomForce consults the guard on every lookup-shaped probe,
+	// hit-rate regardless (ablation / differential testing).
+	BloomForce
+)
+
 // Options configures a parallel evaluation run.
 type Options struct {
 	// Workers is the number of parallel workers (goroutines); 0 uses
@@ -49,6 +71,27 @@ type Options struct {
 	// and memoize) their hash indexes across runs. Relations outside
 	// the base still come from the edb argument and build cold.
 	Base *PreparedBase
+	// Bloom selects the Bloom-guard policy for join and anti-join
+	// probes (see BloomMode).
+	Bloom BloomMode
+	// ProbeGroup is G, the number of independent probe chains each
+	// worker keeps in flight in the staged join pipeline: probes are
+	// hashed and their directory lines prefetched a group ahead of the
+	// walk. 0 uses the default (16); 1 disables the pipeline; values
+	// above 32 are clamped (the stage buffer is fixed-size so the
+	// steady state stays allocation-free).
+	//
+	// When left at 0, the pipeline additionally gates itself per block
+	// on the probed structure's size (pipelineMinRows): staging and
+	// prefetching only pay when the directory outsizes the cache, so
+	// small cache-resident indexes take the serial walk. Setting
+	// ProbeGroup explicitly pins the pipeline on regardless of index
+	// size (benchmarks, tests).
+	ProbeGroup int
+
+	// probeGroupPinned records that ProbeGroup was set by the caller
+	// rather than defaulted; withDefaults derives it.
+	probeGroupPinned bool
 }
 
 // withDefaults fills unset fields.
@@ -71,6 +114,14 @@ func (o Options) withDefaults() Options {
 	if o.Epsilon == 0 {
 		o.Epsilon = 1e-9
 	}
+	if o.ProbeGroup <= 0 {
+		o.ProbeGroup = 16
+	} else {
+		o.probeGroupPinned = true
+	}
+	if o.ProbeGroup > maxProbeGroup {
+		o.ProbeGroup = maxProbeGroup
+	}
 	return o
 }
 
@@ -90,6 +141,10 @@ type StratumStats struct {
 	// pending: the fixpoint was NOT reached (benchmarks report this as
 	// the OOM/DNF analogue for diverging baselines).
 	Capped bool
+	// Probe sums the workers' memory-level probe counters — tag-lane
+	// rejects, audited key-compare skips, Bloom-guard skips — for this
+	// stratum.
+	Probe storage.ProbeCounters
 }
 
 // Stats summarizes a run.
@@ -105,6 +160,8 @@ type Stats struct {
 	// materialization — excluding SetupDuration.
 	Duration time.Duration
 	Strata   []StratumStats
+	// Probe sums the per-stratum probe counters over the whole run.
+	Probe storage.ProbeCounters
 }
 
 // TotalIters sums local iterations over all workers and strata.

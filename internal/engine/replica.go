@@ -340,13 +340,35 @@ func (r *replica) mergeFrame(f *frame) int {
 		return r.mergeFrameScan(f)
 	}
 	changed := 0
-	for i := 0; i < int(f.count); i++ {
+	n := int(f.count)
+	if r.agg == storage.AggNone {
+		// Set-semantics frames carry precomputed hashes, so the dedup
+		// table's slot line — a random load into a table that outgrows
+		// L2 on the recursive queries — can be requested a fixed
+		// distance ahead of the walk and arrive by the time InsertHashed
+		// probes it.
+		for i := 0; i < n; i++ {
+			if j := i + mergeAhead; j < n {
+				r.set.PrefetchSlot(f.hashes[j])
+			}
+			if r.mergeWire(f.hashes[i], f.row(i)) {
+				changed++
+			}
+		}
+		return changed
+	}
+	for i := 0; i < n; i++ {
 		if r.mergeWire(f.hashes[i], f.row(i)) {
 			changed++
 		}
 	}
 	return changed
 }
+
+// mergeAhead is the slot-prefetch distance of the merge loops: far
+// enough ahead to cover an LLC miss under the merge's per-tuple work,
+// near enough that the line is still resident when the walk arrives.
+const mergeAhead = 8
 
 // mergeFrameScan merges a min/max frame without index assistance.
 func (r *replica) mergeFrameScan(f *frame) int {

@@ -62,6 +62,16 @@ type worker struct {
 	flushPending []flushKey
 	flushCap     int
 
+	// pc is this worker's probe-counter bag: every kernel frame holds a
+	// pointer to it, and runStratum folds it into StratumStats.Probe.
+	// Plain int64s — single writer, read only after the worker exits.
+	pc storage.ProbeCounters
+	// probeGroup is the staged pipeline's group size G (Options.
+	// ProbeGroup, already clamped); stages is the pipeline's fixed
+	// per-worker scratch.
+	probeGroup int
+	stages     [maxProbeGroup]probeStage
+
 	localIters    int64
 	waitTime      time.Duration
 	merged        int64
@@ -98,7 +108,18 @@ func (w *worker) flushPendingBatches() {
 // flat buffers for reuse (mergeWire copies everything it retains).
 func (w *worker) drainSelf() {
 	w.run.derived.Add(int64(len(w.selfRefs)))
-	for _, m := range w.selfRefs {
+	refs := w.selfRefs
+	for i, m := range refs {
+		// Request the dedup-table slot line of a tuple a fixed distance
+		// ahead (see mergeAhead): the self-pending refs carry their wire
+		// hashes, so the probe's first random load overlaps the current
+		// tuple's merge.
+		if j := i + mergeAhead; j < len(refs) {
+			n := &refs[j]
+			if set := w.replicas[n.pred][n.path].set; set != nil {
+				set.PrefetchSlot(n.hash)
+			}
+		}
 		width := w.run.widths[m.pred]
 		wire := storage.Tuple(w.selfWords[m.off : int(m.off)+width])
 		if w.replicas[m.pred][m.path].mergeWire(m.hash, wire) {
@@ -113,7 +134,8 @@ func newWorker(run *stratumRun, id int) *worker {
 	// Four frames' worth of rows per out-batch keeps the batch's dedup
 	// slot table small enough to stay cache-resident while preserving
 	// most of the within-iteration dedup scope.
-	w := &worker{id: id, run: run, flushCap: 4 * run.opts.BatchSize, inbox: run.inboxes[id]}
+	w := &worker{id: id, run: run, flushCap: 4 * run.opts.BatchSize, inbox: run.inboxes[id],
+		probeGroup: run.opts.ProbeGroup}
 	w.wireBufs = make([]storage.Tuple, len(run.st.Preds))
 	for pi := range run.st.Preds {
 		w.wireBufs[pi] = make(storage.Tuple, run.widths[pi])
@@ -273,12 +295,7 @@ func (w *worker) runBaseRules() {
 			if k.bindOuter(tuples[i]) {
 				w.exec(k)
 			}
-			if len(w.selfWords) >= selfDrainWords {
-				w.drainSelf()
-			}
-			if len(w.flushPending) > 0 {
-				w.flushPendingBatches()
-			}
+			w.drainChecks()
 		}
 	}
 	w.drainSelf()
@@ -504,17 +521,7 @@ func (w *worker) iterate() {
 				}
 				block := delta[lo:hi]
 				for _, k := range kernels {
-					for _, t := range block {
-						if k.bindOuter(t) {
-							w.exec(k)
-						}
-						if len(w.selfWords) >= selfDrainWords {
-							w.drainSelf()
-						}
-						if len(w.flushPending) > 0 {
-							w.flushPendingBatches()
-						}
-					}
+					w.execBlock(k, block)
 				}
 			}
 		}

@@ -1,0 +1,16 @@
+// Package prefetch exposes the CPU's software prefetch hint as a Go
+// call. A prefetch is advisory: it starts pulling the addressed cache
+// line toward L1 without blocking, faulting, or changing semantics, so
+// a wrong address costs at most one wasted line fill. The join
+// pipeline in internal/engine issues hints a probe group ahead of the
+// walk, overlapping the directory and arena line fills of many
+// independent probe chains instead of stalling on them one at a time.
+//
+// On amd64 and arm64, T0 lowers to a single hint instruction
+// (PREFETCHT0 / PRFM PLDL1KEEP) via tiny assembly stubs; other
+// architectures get an empty function, so callers never need build
+// tags. The stubs are NOSPLIT leaf functions — passing an
+// unsafe.Pointer keeps the referenced object alive across the call,
+// and the hint never dereferences it architecturally, so a stale or
+// interior pointer is safe.
+package prefetch

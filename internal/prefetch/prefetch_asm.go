@@ -1,0 +1,12 @@
+//go:build amd64 || arm64
+
+package prefetch
+
+import "unsafe"
+
+// T0 hints the cache line containing p into all cache levels
+// (temporal locality, L1 target). Implemented in assembly; see
+// prefetch_amd64.s and prefetch_arm64.s.
+//
+//go:noescape
+func T0(p unsafe.Pointer)

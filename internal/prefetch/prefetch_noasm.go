@@ -1,0 +1,10 @@
+//go:build !amd64 && !arm64
+
+package prefetch
+
+import "unsafe"
+
+// T0 is a no-op on architectures without an assembly stub; the
+// compiler inlines the empty body away, so portable builds pay
+// nothing.
+func T0(p unsafe.Pointer) {}

@@ -1,0 +1,34 @@
+package prefetch
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestT0 exercises the hint against live, interior, and slice-element
+// addresses. A prefetch has no observable effect, so the test is that
+// nothing faults and the data is untouched.
+func TestT0(t *testing.T) {
+	var x [1024]uint64
+	for i := range x {
+		x[i] = uint64(i)
+	}
+	T0(unsafe.Pointer(&x[0]))
+	T0(unsafe.Pointer(&x[1023]))
+	T0(unsafe.Pointer(uintptr(unsafe.Pointer(&x[0])) + 3)) // misaligned interior
+	s := make([]byte, 64)
+	T0(unsafe.Pointer(&s[0]))
+	for i := range x {
+		if x[i] != uint64(i) {
+			t.Fatalf("prefetch mutated memory at %d", i)
+		}
+	}
+}
+
+func BenchmarkT0(b *testing.B) {
+	var x uint64
+	p := unsafe.Pointer(&x)
+	for i := 0; i < b.N; i++ {
+		T0(p)
+	}
+}

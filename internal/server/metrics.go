@@ -23,6 +23,19 @@ type Metrics struct {
 	Iterations   atomic.Int64 // local iterations, summed
 	TuplesOut    atomic.Int64 // derived tuples returned, summed
 
+	// Probe-path counters, summed over completed queries: the tagged
+	// directory's traffic (probes / tag rejects), the audited-bucket
+	// compare ledger (compares done / compares skipped) and the Bloom
+	// guards (probes checked / directory walks skipped). Ratios are for
+	// dashboards to derive: e.g. skip efficiency = skips / (compares +
+	// skips).
+	ProbeTagProbes   atomic.Int64
+	ProbeTagRejects  atomic.Int64
+	ProbeKeyCompares atomic.Int64
+	ProbeKeySkips    atomic.Int64
+	ProbeBloomChecks atomic.Int64
+	ProbeBloomSkips  atomic.Int64
+
 	// SetupSeconds distributes per-query setup time (base-relation
 	// registration + index attach/build before evaluation): warm
 	// queries against a prepared base land in the lowest buckets, cold
@@ -102,6 +115,12 @@ func (m *Metrics) WritePrometheus(w io.Writer, counters []counter, gauges ...gau
 	emit("dcserve_query_latency_count", "Number of latency observations.", m.LatencyCount.Load())
 	emit("dcserve_iterations_total", "Local evaluation iterations, summed over queries.", m.Iterations.Load())
 	emit("dcserve_tuples_derived_total", "Derived tuples returned, summed over queries.", m.TuplesOut.Load())
+	emit("dcserve_probe_tag_probes_total", "Occupied directory slots inspected via the tag lane.", m.ProbeTagProbes.Load())
+	emit("dcserve_probe_tag_rejects_total", "Directory slots rejected by the 1-byte tag without a key compare.", m.ProbeTagRejects.Load())
+	emit("dcserve_probe_key_compares_total", "Full-key arena compares performed on probe paths.", m.ProbeKeyCompares.Load())
+	emit("dcserve_probe_key_skips_total", "Full-key compares eliminated by the single-key bucket audit.", m.ProbeKeySkips.Load())
+	emit("dcserve_probe_bloom_checks_total", "Probes consulted against a Bloom guard.", m.ProbeBloomChecks.Load())
+	emit("dcserve_probe_bloom_skips_total", "Directory walks skipped because the Bloom guard ruled the key out.", m.ProbeBloomSkips.Load())
 	for _, c := range counters {
 		emit(c.name, c.help, c.value)
 	}

@@ -407,6 +407,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.metrics.LatencyCount.Add(1)
 	s.metrics.Iterations.Add(stats.TotalIters())
 	s.metrics.TuplesOut.Add(int64(total))
+	s.metrics.ProbeTagProbes.Add(stats.Probe.TagProbes)
+	s.metrics.ProbeTagRejects.Add(stats.Probe.TagRejects)
+	s.metrics.ProbeKeyCompares.Add(stats.Probe.KeyCompares)
+	s.metrics.ProbeKeySkips.Add(stats.Probe.KeySkips)
+	s.metrics.ProbeBloomChecks.Add(stats.Probe.BloomChecks)
+	s.metrics.ProbeBloomSkips.Add(stats.Probe.BloomSkips)
 	s.metrics.SetupSeconds.Observe(stats.SetupDuration)
 
 	writeJSON(w, http.StatusOK, resp)

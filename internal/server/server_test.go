@@ -362,9 +362,25 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"dcserve_iterations_total",
 		"dcserve_tuples_derived_total",
 		"dcserve_rejected_total 0",
+		"dcserve_probe_tag_probes_total",
+		"dcserve_probe_tag_rejects_total",
+		"dcserve_probe_key_compares_total",
+		"dcserve_probe_key_skips_total",
+		"dcserve_probe_bloom_checks_total",
+		"dcserve_probe_bloom_skips_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+	// The TC queries probe the arc index, so the tag lane and compare
+	// ledger must have accumulated real traffic (not just be exported).
+	for _, zero := range []string{
+		"dcserve_probe_tag_probes_total 0\n",
+		"dcserve_probe_key_compares_total 0\n",
+	} {
+		if strings.Contains(text, zero) {
+			t.Errorf("probe counter stuck at zero: %q\n%s", zero, text)
 		}
 	}
 }

@@ -4,6 +4,9 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/prefetch"
 )
 
 // HashIndex is an equi-join index over a fixed tuple set: it maps the
@@ -22,9 +25,24 @@ import (
 // parallel) while probes stay two array reads plus a short linear
 // scan. Neither the directory (plain uint64/uint32 slots) nor the
 // arena (Value is a uint64) contains pointers, so a resident index
-// adds nothing to GC scan work — unlike the previous
-// map[uint64][]Tuple build, whose per-bucket slice headers were all
-// GC-visible and whose map insertions dominated per-query setup.
+// adds nothing to GC scan work.
+//
+// Three memory-level-parallelism structures ride beside the directory:
+//
+//   - A Swiss-table-style tag lane: one byte per slot holding the top
+//     hash bits (0 = empty). The linear probe scans the byte lane — 64
+//     candidates per cache line instead of 4 — and loads the 16-byte
+//     slot only on a tag match, so collision slots are rejected with a
+//     one-byte compare.
+//   - A build-time single-key audit: the scatter pass verifies that
+//     every bucket's rows agree on the key columns (64-bit hash
+//     collisions between *stored* keys are detected, not assumed
+//     away). On an audited index a probe full-key-compares only the
+//     bucket's first row; every further row is accepted without
+//     touching its key words.
+//   - A blocked Bloom filter over the distinct key hashes (bloom.go),
+//     consulted by anti-joins and miss-heavy probes before the
+//     directory walk.
 type HashIndex struct {
 	keyCols []int
 	width   int
@@ -34,7 +52,17 @@ type HashIndex struct {
 	pMask  uint64
 	pShift uint8
 	dirs   [][]idxSlot
-	arena  []Value
+	// tags[p][i] mirrors dirs[p][i]: 0 for an empty slot, otherwise
+	// tagOf(slot.hash).
+	tags [][]uint8
+	// keyed reports the build-time audit passed: every bucket holds a
+	// single distinct key, so one verified row vouches for the rest.
+	keyed bool
+	arena []Value
+
+	// Blocked Bloom filter over distinct key hashes (see bloom.go).
+	bloom     []uint64
+	bloomMask uint64
 }
 
 // idxSlot is one directory entry: a distinct key hash and its
@@ -44,6 +72,18 @@ type idxSlot struct {
 	start uint32
 	count uint32
 }
+
+// tagOf compresses a key hash into its one-byte lane tag: the top seven
+// hash bits with the high bit forced on, so an occupied slot's tag is
+// never 0 (the empty marker). The top bits are disjoint from both the
+// partition bits (low) and the in-region probe bits (above pShift), so
+// tag equality is nearly independent of slot placement.
+func tagOf(h uint64) uint8 { return uint8(h>>56) | 0x80 }
+
+// TagOf exposes the tag function for sibling probe structures (the
+// engine's incremental join indexes keep the same one-byte lane beside
+// their cached hashes).
+func TagOf(h uint64) uint8 { return tagOf(h) }
 
 // nextPow2 returns the smallest power of two >= n (minimum 2).
 func nextPow2(n int) int {
@@ -59,7 +99,7 @@ func nextPow2(n int) int {
 // the counts into bucket offsets, then scatter each tuple's words into
 // its bucket's arena range. No per-bucket allocations, no map.
 func NewHashIndex(tuples []Tuple, keyCols []int) *HashIndex {
-	idx := &HashIndex{keyCols: keyCols, n: len(tuples)}
+	idx := &HashIndex{keyCols: keyCols, n: len(tuples), keyed: true}
 	if idx.n == 0 {
 		return idx
 	}
@@ -69,23 +109,29 @@ func NewHashIndex(tuples []Tuple, keyCols []int) *HashIndex {
 		hs[i] = t.HashOn(keyCols)
 	}
 	idx.arena = make([]Value, idx.n*idx.width)
-	idx.dirs = [][]idxSlot{buildRegion(tuples, idx.width, 0, hs, nil, 0, idx.arena)}
+	idx.bloom = make([]uint64, bloomBlocks(idx.n, 1)*bloomBlockWords)
+	idx.bloomMask = uint64(len(idx.bloom)/bloomBlockWords - 1)
+	region, tags, keyed := buildRegion(tuples, idx.width, keyCols, 0, hs, nil, 0, idx.arena, idx.bloom, idx.bloomMask)
+	idx.dirs = [][]idxSlot{region}
+	idx.tags = [][]uint8{tags}
+	idx.keyed = keyed
 	return idx
 }
 
 // buildRegion groups one partition's entries into buckets: an
-// open-addressed slot region over the partition's distinct key hashes,
-// plus the rows scattered bucket-contiguously into
-// arena[rowBase*width:]. hs lists the entries' key hashes; rows maps
-// entries to tuple ordinals (nil means the identity, i.e. the whole
-// relation in one partition). The three passes are count → prefix-sum
-// → scatter; the scatter reuses each slot's start as its write cursor
-// and the final fixup pass rewinds it, so the build needs no side
-// arrays.
-func buildRegion(tuples []Tuple, width int, pShift uint8, hs []uint64, rows []uint32, rowBase int, arena []Value) []idxSlot {
+// open-addressed slot region over the partition's distinct key hashes
+// (plus its byte tag lane), the rows scattered bucket-contiguously into
+// arena[rowBase*width:], the partition's distinct hashes added to the
+// shared Bloom filter, and the single-key audit over the scattered
+// buckets. hs lists the entries' key hashes; rows maps entries to tuple
+// ordinals (nil means the identity, i.e. the whole relation in one
+// partition). The three passes are count → prefix-sum → scatter; the
+// scatter reuses each slot's start as its write cursor and the final
+// fixup pass rewinds it, so the build needs no side arrays.
+func buildRegion(tuples []Tuple, width int, keyCols []int, pShift uint8, hs []uint64, rows []uint32, rowBase int, arena []Value, bloom []uint64, bloomMask uint64) ([]idxSlot, []uint8, bool) {
 	k := len(hs)
 	if k == 0 {
-		return nil
+		return nil, nil, true
 	}
 	region := make([]idxSlot, nextPow2(2*k))
 	mask := uint64(len(region) - 1)
@@ -98,6 +144,7 @@ func buildRegion(tuples []Tuple, width int, pShift uint8, hs []uint64, rows []ui
 				s.hash = h
 				s.count = 1
 				distinct++
+				bloomAdd(bloom, bloomMask, h)
 				break
 			}
 			if s.hash == h {
@@ -149,7 +196,36 @@ func buildRegion(tuples []Tuple, width int, pShift uint8, hs []uint64, rows []ui
 	for i := range region {
 		region[i].start -= region[i].count
 	}
-	return region
+	// Tag lane: one byte per settled slot.
+	tags := make([]uint8, len(region))
+	for i := range region {
+		if region[i].count != 0 {
+			tags[i] = tagOf(region[i].hash)
+		}
+	}
+	// Single-key audit: a bucket groups rows by 64-bit key hash, so rows
+	// with *differing* key columns in one bucket are a true collision.
+	// Verifying there is none lets probes compare only the first row of
+	// a bucket; the remaining rows are accepted key-compare-free.
+	keyed := true
+audit:
+	for i := range region {
+		s := &region[i]
+		if s.count < 2 {
+			continue
+		}
+		base := arena[int(s.start)*width : (int(s.start)+1)*width]
+		for r := int(s.start) + 1; r < int(s.start)+int(s.count); r++ {
+			row := arena[r*width : (r+1)*width]
+			for _, c := range keyCols {
+				if row[c] != base[c] {
+					keyed = false
+					break audit
+				}
+			}
+		}
+	}
+	return region, tags, keyed
 }
 
 // parallelBuildMin is the relation size below which the sharded build
@@ -165,7 +241,9 @@ const parallelBuildMin = 8192
 // sums into disjoint scatter cursors, and each partition's bucket
 // region then builds independently. The result is identical (including
 // bucket order, which follows tuple order) to calling NewHashIndex per
-// lookup.
+// lookup. The Bloom filter's block count is at least the partition
+// count, so phase D's concurrent bloomAdd calls land in
+// partition-disjoint blocks.
 func BuildHashIndexes(tuples []Tuple, lookups [][]int, workers int) []*HashIndex {
 	out := make([]*HashIndex, len(lookups))
 	if len(lookups) == 0 {
@@ -209,24 +287,32 @@ func BuildHashIndexes(tuples []Tuple, lookups [][]int, workers int) []*HashIndex
 		// every partition.
 		partH   []uint64
 		partRow []uint32
+		// kflags[p] is partition p's single-key audit result (phase D),
+		// AND-combined into idx.keyed afterwards.
+		kflags []bool
 	}
 	states := make([]*buildState, len(lookups))
 	for l, cols := range lookups {
+		blocks := bloomBlocks(n, nParts)
 		st := &buildState{
 			idx: &HashIndex{
-				keyCols: cols,
-				width:   width,
-				n:       n,
-				pMask:   pMask,
-				pShift:  pShift,
-				dirs:    make([][]idxSlot, nParts),
-				arena:   make([]Value, n*width),
+				keyCols:   cols,
+				width:     width,
+				n:         n,
+				pMask:     pMask,
+				pShift:    pShift,
+				dirs:      make([][]idxSlot, nParts),
+				tags:      make([][]uint8, nParts),
+				arena:     make([]Value, n*width),
+				bloom:     make([]uint64, blocks*bloomBlockWords),
+				bloomMask: uint64(blocks - 1),
 			},
 			hs:        make([]uint64, n),
 			counts:    make([][]uint32, nShards),
 			partStart: make([]uint32, nParts+1),
 			partH:     make([]uint64, n),
 			partRow:   make([]uint32, n),
+			kflags:    make([]bool, nParts),
 		}
 		for s := range st.counts {
 			st.counts[s] = make([]uint32, nParts)
@@ -275,15 +361,25 @@ func BuildHashIndexes(tuples []Tuple, lookups [][]int, workers int) []*HashIndex
 		}
 	})
 
-	// Phase D: build every partition's bucket region and scatter its
-	// rows, parallel over (index, partition) — regions and arena row
-	// ranges are disjoint by construction.
+	// Phase D: build every partition's bucket region, tag lane and
+	// Bloom blocks, and scatter its rows, parallel over (index,
+	// partition) — regions, tag lanes, arena row ranges and Bloom
+	// blocks are all disjoint by construction.
 	runTasks(workers, len(lookups)*nParts, func(task int) {
 		st, p := states[task/nParts], task%nParts
 		lo, hi := st.partStart[p], st.partStart[p+1]
-		st.idx.dirs[p] = buildRegion(tuples, width, pShift,
-			st.partH[lo:hi], st.partRow[lo:hi], int(lo), st.idx.arena)
+		st.idx.dirs[p], st.idx.tags[p], st.kflags[p] = buildRegion(tuples, width, st.idx.keyCols, pShift,
+			st.partH[lo:hi], st.partRow[lo:hi], int(lo), st.idx.arena, st.idx.bloom, st.idx.bloomMask)
 	})
+	for _, st := range states {
+		st.idx.keyed = true
+		for _, ok := range st.kflags {
+			if !ok {
+				st.idx.keyed = false
+				break
+			}
+		}
+	}
 	return out
 }
 
@@ -334,9 +430,49 @@ func (idx *HashIndex) KeyCols() []int { return idx.keyCols }
 // Len returns the number of indexed rows.
 func (idx *HashIndex) Len() int { return idx.n }
 
+// Keyed reports that the build-time audit proved every bucket holds one
+// distinct key: after a probe verifies a bucket's first row, the
+// remaining rows need no key compare.
+func (idx *HashIndex) Keyed() bool { return idx.keyed }
+
 // rangeOf returns the [start, end) row range of the bucket whose key
-// hash is h (0,0 when absent).
+// hash is h (0,0 when absent). The linear probe walks the one-byte tag
+// lane and loads the 16-byte slot only on a tag match — the uncounted
+// twin of ProbeRange, kept separate so the generic Lookup/Contains API
+// stays free of counter plumbing.
 func (idx *HashIndex) rangeOf(h uint64) (int, int) {
+	if idx.n == 0 {
+		return 0, 0
+	}
+	p := h & idx.pMask
+	region := idx.dirs[p]
+	if len(region) == 0 {
+		return 0, 0
+	}
+	tags := idx.tags[p]
+	mask := uint64(len(region) - 1)
+	tg := tagOf(h)
+	i := (h >> idx.pShift) & mask
+	for {
+		t := tags[i]
+		if t == 0 {
+			return 0, 0
+		}
+		if t == tg {
+			s := &region[i]
+			if s.hash == h {
+				return int(s.start), int(s.start) + int(s.count)
+			}
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// rangeOfNoTag is the pre-tag-lane probe (full-hash compare at every
+// occupied slot). It is the A/B baseline for the tag-filter
+// microbenchmarks and the oracle the property tests compare the tagged
+// probe against; production paths never call it.
+func (idx *HashIndex) rangeOfNoTag(h uint64) (int, int) {
 	if idx.n == 0 {
 		return 0, 0
 	}
@@ -356,6 +492,73 @@ func (idx *HashIndex) rangeOf(h uint64) (int, int) {
 		}
 		i = (i + 1) & mask
 	}
+}
+
+// ProbeRange is rangeOf for callers that already hold the key hash and
+// a counter bag: the kernel's join cursors hash a probe key exactly
+// once (often a group ahead of the walk, see internal/engine's staged
+// pipeline) and pass the hash down.
+func (idx *HashIndex) ProbeRange(h uint64, pc *ProbeCounters) (int, int) {
+	if idx.n == 0 {
+		return 0, 0
+	}
+	p := h & idx.pMask
+	region := idx.dirs[p]
+	if len(region) == 0 {
+		return 0, 0
+	}
+	tags := idx.tags[p]
+	mask := uint64(len(region) - 1)
+	tg := tagOf(h)
+	i := (h >> idx.pShift) & mask
+	// Counters accumulate in registers and flush once: the walk is the
+	// hottest loop in the engine and a per-slot read-modify-write
+	// through the pointer would cost as much as the tag check itself.
+	var probes, rejects int64
+	start, end := 0, 0
+	for {
+		t := tags[i]
+		if t == 0 {
+			break
+		}
+		probes++
+		if t == tg {
+			s := &region[i]
+			if s.hash == h {
+				start, end = int(s.start), int(s.start)+int(s.count)
+				break
+			}
+		} else {
+			rejects++
+		}
+		i = (i + 1) & mask
+	}
+	pc.TagProbes += probes
+	pc.TagRejects += rejects
+	return start, end
+}
+
+// PrefetchBucket hints the directory lines a ProbeRange(h) call will
+// touch — the tag byte and its slot — into L1. Issued a probe group
+// ahead of the walk so the loads overlap.
+func (idx *HashIndex) PrefetchBucket(h uint64) {
+	if idx.n == 0 {
+		return
+	}
+	p := h & idx.pMask
+	region := idx.dirs[p]
+	if len(region) == 0 {
+		return
+	}
+	mask := uint64(len(region) - 1)
+	i := (h >> idx.pShift) & mask
+	prefetch.T0(unsafe.Pointer(&idx.tags[p][i]))
+	prefetch.T0(unsafe.Pointer(&region[i]))
+}
+
+// PrefetchRow hints row r's arena line into L1.
+func (idx *HashIndex) PrefetchRow(r int) {
+	prefetch.T0(unsafe.Pointer(&idx.arena[r*idx.width]))
 }
 
 // BucketRange returns the [start, end) row-ordinal range of key's
@@ -402,6 +605,33 @@ func (idx *HashIndex) Lookup(key []Value, fn func(Tuple) bool) {
 func (idx *HashIndex) Contains(key []Value) bool {
 	start, end := idx.rangeOf(HashValues(key))
 	for r := start; r < end; r++ {
+		if idx.MatchesKey(idx.RowAt(r), key) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsProbe is Contains with a caller-supplied hash and counter
+// bag. On an audited (Keyed) index one key compare against the
+// bucket's first row settles the answer for the whole bucket.
+func (idx *HashIndex) ContainsProbe(h uint64, key []Value, pc *ProbeCounters) bool {
+	start, end := idx.ProbeRange(h, pc)
+	if start >= end {
+		return false
+	}
+	pc.KeyCompares++
+	if idx.MatchesKey(idx.RowAt(start), key) {
+		return true
+	}
+	if idx.keyed {
+		// The bucket holds a single distinct key and it is not ours:
+		// the rest of the rows cannot match either.
+		pc.KeySkips += int64(end - start - 1)
+		return false
+	}
+	for r := start + 1; r < end; r++ {
+		pc.KeyCompares++
 		if idx.MatchesKey(idx.RowAt(r), key) {
 			return true
 		}

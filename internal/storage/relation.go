@@ -1,5 +1,11 @@
 package storage
 
+import (
+	"unsafe"
+
+	"repro/internal/prefetch"
+)
+
 // Relation is the common surface of the two tuple containers used during
 // semi-naive evaluation: deduplicating set relations and keyed aggregate
 // relations.
@@ -117,6 +123,16 @@ func (r *SetRelation) InsertHashed(h uint64, t Tuple) (Tuple, bool) {
 		r.grow()
 	}
 	return Tuple(block), true
+}
+
+// PrefetchSlot hints the membership-table line an InsertHashed(h, ...)
+// or ContainsHashed(h, ...) call will probe first. The merge loops
+// (internal/engine) issue it a fixed distance ahead of the walk: once
+// the relation holds more than a few hundred thousand tuples the slot
+// table outsizes L2 and the probe load is the merge path's dominant
+// stall.
+func (r *SetRelation) PrefetchSlot(h uint64) {
+	prefetch.T0(unsafe.Pointer(&r.table[h&r.mask]))
 }
 
 // grow doubles the slot table, rehousing every entry by its cached hash
