@@ -2,6 +2,7 @@
 //
 //	datagen -kind rmat -n 10000 -o rmat10k.tsv
 //	datagen -kind gnp -n 10000 -m 100000 -o g10k.tsv
+//	datagen -kind hub -n 10000 -m 100000 -skew 1.3 -o hub10k.tsv
 //	datagen -kind tree -height 11 -o tree11.tsv
 //	datagen -kind ntree -n 300000 -o n300k          # writes .assbl/.basic
 //	datagen -kind livejournal -scale 0.001 -o lj.tsv
@@ -28,11 +29,12 @@ func main() {
 }
 
 func mainErr() error {
-	kind := flag.String("kind", "rmat", "rmat, gnp, tree, ntree, livejournal, orkut, arabic, twitter")
-	n := flag.Int64("n", 10000, "vertex count (rmat/gnp/ntree)")
-	m := flag.Int("m", 0, "edge count (gnp; rmat defaults to 10n)")
+	kind := flag.String("kind", "rmat", "rmat, gnp, hub, tree, ntree, livejournal, orkut, arabic, twitter")
+	n := flag.Int64("n", 10000, "vertex count (rmat/gnp/hub/ntree)")
+	m := flag.Int("m", 0, "edge count (gnp/hub; rmat defaults to 10n)")
 	height := flag.Int("height", 11, "tree height")
 	scale := flag.Float64("scale", 0.001, "scale for real-graph stand-ins")
+	skew := flag.Float64("skew", 1.3, "Zipf exponent for the hub-skewed generator (hub)")
 	seed := flag.Int64("seed", 42, "generator seed")
 	weights := flag.Int64("weights", 0, "attach uniform weights in [1,w]")
 	undirect := flag.Bool("undirect", false, "emit both edge directions")
@@ -70,6 +72,12 @@ func mainErr() error {
 			mm = int(float64(*n) * float64(*n) * 0.001)
 		}
 		edges = datasets.Gnp(*n, mm, *seed)
+	case "hub":
+		mm := *m
+		if mm == 0 {
+			mm = int(10 * *n)
+		}
+		edges = datasets.Hub(*n, mm, *skew, *seed)
 	case "tree":
 		edges = datasets.Tree(*height, 2, 6, *seed)
 	case "livejournal":

@@ -364,6 +364,14 @@ func WithoutPartialAgg() Option {
 	return func(c *config, _ *Database) error { c.opts.NoPartialAgg = true; return nil }
 }
 
+// WithoutStealing disables morsel-driven work stealing: every worker
+// evaluates only the delta it gathered, as before the steal plane
+// existed (ablation and differential testing; skewed workloads at
+// multiple workers lose their load balancing).
+func WithoutStealing() Option {
+	return func(c *config, _ *Database) error { c.opts.StealOff = true; return nil }
+}
+
 // BloomMode selects when join probes consult the Bloom guards built
 // beside the base hash indexes: BloomAuto (default — anti-joins
 // always, joins adaptively on low hit rates), BloomOff, BloomForce.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/coord"
 	"repro/internal/datasets"
 	"repro/internal/des"
+	"repro/internal/engine"
 	"repro/internal/queries"
 	"repro/internal/storage"
 )
@@ -27,6 +28,9 @@ type Config struct {
 	// baselines; hitting it is reported as OOM, mirroring the paper's
 	// out-of-memory columns for Soufflé-style evaluation.
 	StratCap int
+	// NoSteal disables morsel-driven work stealing in the tracking
+	// suite (A/B comparisons; the steal report sets it per column).
+	NoSteal bool
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +74,9 @@ type measurement struct {
 	note    string // "OOM", "NS", "ERR: ..." or empty
 	tuples  int
 	probe   storage.ProbeCounters // memory-level probe statistics
+	steal   engine.StealStats     // morsel-scheduler activity
+	// imbalance is max/mean per-worker busy time (1.0 = balanced).
+	imbalance float64
 }
 
 // run executes one query configuration against a fresh database.
@@ -89,11 +96,14 @@ func run(ds dataset, src, output string, opts ...dcdatalog.Option) measurement {
 	if err != nil {
 		return measurement{note: "ERR: " + err.Error()}
 	}
+	stats := res.Stats()
 	return measurement{
-		seconds: elapsed,
-		setupNS: res.Stats().SetupDuration.Nanoseconds(),
-		tuples:  res.Len(output),
-		probe:   res.Stats().Probe,
+		seconds:   elapsed,
+		setupNS:   stats.SetupDuration.Nanoseconds(),
+		tuples:    res.Len(output),
+		probe:     stats.Probe,
+		steal:     stats.Steal,
+		imbalance: stats.Imbalance(),
 	}
 }
 

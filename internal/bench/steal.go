@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"fmt"
+
+	dcdatalog "repro"
+)
+
+// StealReport runs the fixed tracking suite with the morsel scheduler
+// on and off and reports what stealing did to each cell: wall time,
+// the busy-time imbalance ratio (max/mean over workers — 1.0 is
+// perfectly balanced), and the morsel counters. The hub-skewed cell is
+// the one stealing exists for; the uniform cells double as its
+// no-regression control.
+func StealReport(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title: fmt.Sprintf("Morsel stealing on vs off (tracking suite, %d workers)", cfg.Workers),
+		Header: []string{"Query", "Dataset", "Mode", "Time", "Imbalance",
+			"Morsels", "Stolen", "Attempts", "Failures"},
+		Notes: []string{
+			"Imbalance = max/mean per-worker busy time; 1.0 is perfectly balanced",
+			"Morsels = delta blocks published to the steal plane; Stolen = executed by a non-owner",
+			"off = WithoutStealing(): each worker evaluates only its own gathered delta",
+		},
+	}
+	modes := []struct {
+		name string
+		opts []dcdatalog.Option
+	}{
+		{"steal", nil},
+		{"off", []dcdatalog.Option{dcdatalog.WithoutStealing()}},
+	}
+	for _, j := range trackingJobs(cfg) {
+		for _, mo := range modes {
+			opts := append([]dcdatalog.Option{dcdatalog.WithWorkers(cfg.Workers)}, mo.opts...)
+			m := run(j.ds, j.query.Source, j.query.Output, opts...)
+			t.Rows = append(t.Rows, []string{
+				j.query.Name, j.dsName, mo.name, cell(m.seconds, m.note),
+				fmt.Sprintf("%.2f", m.imbalance),
+				fmt.Sprint(m.steal.MorselsExecuted),
+				fmt.Sprint(m.steal.MorselsStolen),
+				fmt.Sprint(m.steal.Attempts),
+				fmt.Sprint(m.steal.Failures),
+			})
+		}
+	}
+	return t
+}

@@ -35,6 +35,15 @@ type BenchPoint struct {
 	ProbeTagRejectRate float64 `json:"probe_tag_reject_rate"`
 	ProbeKeySkipRate   float64 `json:"probe_key_skip_rate"`
 	ProbeBloomSkipRate float64 `json:"probe_bloom_skip_rate"`
+	// Steal-plane counters (PR8): how the morsel scheduler behaved.
+	// Imbalance is max/mean per-worker busy time — 1.0 is perfectly
+	// balanced, and the skewed cells are where stealing should pull it
+	// down.
+	StealMorsels  int64   `json:"steal_morsels"`
+	StealStolen   int64   `json:"steal_stolen"`
+	StealAttempts int64   `json:"steal_attempts"`
+	StealFailures int64   `json:"steal_failures"`
+	Imbalance     float64 `json:"imbalance"`
 }
 
 // trackJob is one query × dataset cell of the fixed tracking suite.
@@ -65,6 +74,14 @@ func trackingJobs(cfg Config) []trackJob {
 	sgEdges := datasets.Tree(6, 2, 3, cfg.Seed)
 	jobs = append(jobs, trackJob{queries.SG(), "tree-6", dataset{load: loadArcs(sgEdges)}})
 
+	// Hub-skewed cell (PR8): a Zipf-sourced graph whose top hubs own
+	// most of the out-edges, so the partitions holding the hubs' join
+	// keys receive most of each recursive delta. This is the workload
+	// morsel stealing exists for; the uniform cells above double as its
+	// no-regression control.
+	hubEdges := datasets.Undirect(datasets.Hub(cfg.scaled(4000), int(cfg.scaled(24000)), 1.3, cfg.Seed))
+	jobs = append(jobs, trackJob{queries.CC(), "hub-4k", dataset{load: loadArcs(hubEdges)}})
+
 	return jobs
 }
 
@@ -85,7 +102,11 @@ func Trajectory(cfg Config) []BenchPoint {
 			// shifts the timings of every cell after it.
 			runtime.GC()
 			runtime.GC()
-			m := run(j.ds, j.query.Source, j.query.Output, dcdatalog.WithWorkers(w))
+			opts := []dcdatalog.Option{dcdatalog.WithWorkers(w)}
+			if cfg.NoSteal {
+				opts = append(opts, dcdatalog.WithoutStealing())
+			}
+			m := run(j.ds, j.query.Source, j.query.Output, opts...)
 			points = append(points, BenchPoint{
 				Query:              j.query.Name,
 				Dataset:            j.dsName,
@@ -103,6 +124,11 @@ func Trajectory(cfg Config) []BenchPoint {
 				ProbeTagRejectRate: m.probe.TagRejectRate(),
 				ProbeKeySkipRate:   m.probe.KeySkipRate(),
 				ProbeBloomSkipRate: m.probe.BloomSkipRate(),
+				StealMorsels:       m.steal.MorselsExecuted,
+				StealStolen:        m.steal.MorselsStolen,
+				StealAttempts:      m.steal.Attempts,
+				StealFailures:      m.steal.Failures,
+				Imbalance:          m.imbalance,
 			})
 		}
 	}

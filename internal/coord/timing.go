@@ -68,7 +68,14 @@ const (
 type Backoff struct {
 	// Clk, when set, is refreshed after every sleep so stale coarse
 	// readings cannot outlive a sleep tick.
-	Clk   *CoarseClock
+	Clk *CoarseClock
+	// Help, when set, is consulted before the backoff escalates past
+	// the yield tier: if it finds (and performs) useful work it returns
+	// true and the backoff resets to the cheapest tier instead of
+	// sleeping. This is how gate and park waits stay responsive to the
+	// engine's steal plane — a worker about to sleep 20–50µs first asks
+	// whether a peer has morsels it could run.
+	Help  func() bool
 	round uint32
 	sleep time.Duration
 }
@@ -87,6 +94,10 @@ func (b *Backoff) Pause() bool {
 	if b.round < backoffYieldRounds {
 		b.round++
 		runtime.Gosched()
+		return false
+	}
+	if b.Help != nil && b.Help() {
+		b.Reset()
 		return false
 	}
 	if b.sleep == 0 {

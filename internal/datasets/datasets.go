@@ -106,6 +106,36 @@ func RMATn(n int64, seed int64) []Edge {
 	return RMAT(n, int(10*n), seed)
 }
 
+// Hub generates an n-vertex, m-edge graph whose source endpoints
+// follow a Zipf distribution with the given exponent (s > 1;
+// values ≤ 1 are clamped to 1.01): vertex of rank k appears as a
+// source with probability ∝ 1/k^s, so a handful of hubs own most of
+// the out-edges while destinations stay uniform. Unlike RMAT — whose
+// skew depends on the seed and quadrant mixing — Hub makes worker
+// imbalance reproducible and tunable: the partition owning a hub's
+// join key receives most of each recursive delta, and every one of
+// those rows probes the hub's oversized adjacency bucket. Self-loops
+// and duplicate edges are re-drawn, so the result has exactly m
+// distinct edges (m must fit: m ≤ n·(n-1)).
+func Hub(n int64, m int, exponent float64, seed int64) []Edge {
+	if exponent <= 1 {
+		exponent = 1.01
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, exponent, 1, uint64(n-1))
+	seen := make(map[Edge]bool, m)
+	out := make([]Edge, 0, m)
+	for len(out) < m {
+		e := Edge{int64(zipf.Uint64()), rng.Int63n(n)}
+		if e.Src == e.Dst || seen[e] {
+			continue
+		}
+		seen[e] = true
+		out = append(out, e)
+	}
+	return out
+}
+
 // Gnp generates an n-vertex uniform random graph with m edges sampled
 // without replacement — the G-10K dataset uses n=10000 and edge
 // probability 0.001, i.e. m ≈ n²/1000.

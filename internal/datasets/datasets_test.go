@@ -182,3 +182,48 @@ func TestRealGraphScaling(t *testing.T) {
 		t.Fatalf("names = %v", names)
 	}
 }
+
+func TestHubSkew(t *testing.T) {
+	edges := Hub(4096, 16384, 1.3, 7)
+	if len(edges) != 16384 {
+		t.Fatalf("generated %d edges, want 16384", len(edges))
+	}
+	seen := map[Edge]bool{}
+	deg := map[int64]int{}
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			t.Fatalf("self-loop %v", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = true
+		deg[e.Src]++
+	}
+	var degs []int
+	for _, d := range deg {
+		degs = append(degs, d)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	// The whole point: a handful of hubs own a large share of the
+	// out-edges. The top vertex alone should beat a uniform share by
+	// orders of magnitude.
+	if float64(degs[0]) < 0.05*float64(len(edges)) {
+		t.Fatalf("top hub owns only %d of %d edges", degs[0], len(edges))
+	}
+	// Deterministic in the seed; exponent changes the draw.
+	again := Hub(4096, 16384, 1.3, 7)
+	for i := range edges {
+		if edges[i] != again[i] {
+			t.Fatalf("not deterministic at %d: %v vs %v", i, edges[i], again[i])
+		}
+	}
+	flatter := Hub(4096, 16384, 3.0, 7)
+	if flatter[0] == edges[0] && flatter[1] == edges[1] && flatter[2] == edges[2] {
+		t.Fatal("exponent does not influence the draw")
+	}
+	// Exponents at or below 1 clamp instead of panicking rand.NewZipf.
+	if got := Hub(64, 128, 0.5, 1); len(got) != 128 {
+		t.Fatalf("clamped exponent generated %d edges", len(got))
+	}
+}

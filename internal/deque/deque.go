@@ -1,0 +1,163 @@
+// Package deque implements the Chase–Lev work-stealing deque (Chase &
+// Lev, "Dynamic Circular Work-Stealing Deque", SPAA 2005; the
+// load/store discipline follows Lê et al., "Correct and Efficient
+// Work-Stealing for Weak Memory Models", PPoPP 2013 — Go's sync/atomic
+// operations are sequentially consistent, which subsumes every fence
+// the latter paper requires).
+//
+// One goroutine — the owner — pushes and pops at the bottom in LIFO
+// order, so its own most-recently-produced work stays cache-warm. Any
+// number of thieves steal from the top in FIFO order, claiming the
+// oldest element with a single CAS. The engine stores one element per
+// morsel: a uint64 index into the owner's morsel arena, never a
+// pointer, so a thief that loses its CAS race holds nothing it could
+// dereference stale.
+//
+// The deque is fixed-capacity (no growth): the engine bounds
+// outstanding morsels per worker and falls back to executing inline
+// when the ring fills, which keeps the hot path allocation-free and
+// sidesteps the classic grow-under-steal complexity entirely.
+package deque
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// cacheLine is the coherence granule the padding isolates; same
+// convention as package spsc.
+const cacheLine = 64
+
+// Deque is a bounded Chase–Lev deque of uint64 payloads. The zero
+// value is not usable; construct with New.
+//
+// Layout: bottom is written only by the owner on every push/pop; top
+// is CASed by thieves on every steal. Each owns its cache line so an
+// owner push never ping-pongs the line thieves are contending on. The
+// pads are computed from the preceding fields' sizes and checked by
+// compile-time negative-array guards, exactly like internal/spsc.
+type Deque struct {
+	buf  []slot // 24 bytes (slice header)
+	mask uint64 // 8 bytes
+	_    [cacheLine - (24+8)%cacheLine]byte
+
+	// bottom is the next slot the owner pushes into; only the owner
+	// stores it, but thieves load it to bound their scan.
+	bottom atomic.Int64
+	_      [cacheLine - 8]byte
+
+	// top is the next slot thieves steal from; it only moves forward
+	// (monotone), which is what makes the single CAS ABA-free.
+	top atomic.Int64
+	_   [cacheLine - 8]byte
+}
+
+// slot wraps each payload in an atomic so an owner overwrite racing a
+// doomed thief read is a defined (and race-detector-clean) load of a
+// value the failed CAS then discards.
+type slot struct {
+	v atomic.Uint64
+}
+
+// Compile-time layout guards: negative array lengths are build errors,
+// so these fail if bottom/top drift off their cache-line boundaries or
+// the struct stops being a whole number of lines.
+var layoutProbe Deque
+
+var (
+	_ [-(unsafe.Offsetof(layoutProbe.bottom) % cacheLine)]byte
+	_ [-(unsafe.Offsetof(layoutProbe.top) % cacheLine)]byte
+	_ [-(unsafe.Sizeof(layoutProbe) % cacheLine)]byte
+)
+
+// New returns a deque with capacity rounded up to the next power of two
+// (minimum 2).
+func New(capacity int) *Deque {
+	n := uint64(2)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	return &Deque{buf: make([]slot, n), mask: n - 1}
+}
+
+// Cap returns the fixed capacity.
+func (d *Deque) Cap() int { return len(d.buf) }
+
+// Len reports the number of elements currently in the deque. It is an
+// instantaneous estimate when called concurrently with steals.
+func (d *Deque) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		// PopBottom's transient decrement can be observed.
+		return 0
+	}
+	return int(n)
+}
+
+// PushBottom appends v at the bottom, reporting false when the deque is
+// full. Only the owner may call it.
+//
+// The capacity check reads a fresh top: bottom-top can only shrink
+// concurrently (thieves advance top), so a passed check cannot be
+// invalidated before the store — the owner is the only writer of
+// bottom.
+func (d *Deque) PushBottom(v uint64) bool {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b-t >= int64(len(d.buf)) {
+		return false
+	}
+	d.buf[uint64(b)&d.mask].v.Store(v)
+	// Publishing bottom is the release edge: a thief that observes
+	// bottom > b also observes the slot store above (and everything the
+	// owner wrote before this call, e.g. the arena entry v indexes).
+	d.bottom.Store(b + 1)
+	return true
+}
+
+// PopBottom removes and returns the newest element. Only the owner may
+// call it. On the last element it races thieves for top with the same
+// CAS they use; exactly one side wins.
+func (d *Deque) PopBottom() (uint64, bool) {
+	b := d.bottom.Load() - 1
+	// Reserve the slot first, then read top: a thief that began after
+	// this store sees the shrunken deque, so owner and thieves can only
+	// contend on the single remaining element, settled by CAS below.
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty (the decrement overshot); restore.
+		d.bottom.Store(b + 1)
+		return 0, false
+	}
+	v := d.buf[uint64(b)&d.mask].v.Load()
+	if t == b {
+		// Last element: win it with the thieves' CAS or lose it to one.
+		won := d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(b + 1)
+		if !won {
+			return 0, false
+		}
+		return v, true
+	}
+	return v, true
+}
+
+// Steal removes and returns the oldest element. Any goroutine may call
+// it concurrently with the owner and other thieves.
+func (d *Deque) Steal() (uint64, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return 0, false
+	}
+	// Read the payload before claiming it: after a successful CAS the
+	// owner may immediately reuse the slot. If the CAS fails (the owner
+	// popped it, or another thief won) the value is discarded — it is a
+	// plain uint64, so holding a stale copy is harmless.
+	v := d.buf[uint64(t)&d.mask].v.Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return 0, false
+	}
+	return v, true
+}

@@ -89,6 +89,12 @@ type Options struct {
 	// size (benchmarks, tests).
 	ProbeGroup int
 
+	// StealOff disables morsel-driven work stealing: each worker
+	// evaluates only its own gathered delta, as before PR8 (ablation /
+	// differential testing). Stealing is also implicitly off at one
+	// worker, where there is no peer to steal from.
+	StealOff bool
+
 	// probeGroupPinned records that ProbeGroup was set by the caller
 	// rather than defaulted; withDefaults derives it.
 	probeGroupPinned bool
@@ -125,6 +131,50 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// StealStats aggregates the morsel scheduler's activity: how many
+// delta morsels ran, how many ran on a worker other than the one that
+// gathered them, and how the idle workers' steal probes fared.
+type StealStats struct {
+	// MorselsExecuted counts every shared delta block that went through
+	// the steal plane (executed by its owner or by a thief).
+	MorselsExecuted int64
+	// MorselsStolen counts morsels executed by a non-owner.
+	MorselsStolen int64
+	// Attempts counts steal probes against a chosen victim's deque;
+	// Failures counts the probes that found it already drained (lost
+	// the race to the owner or another thief).
+	Attempts int64
+	Failures int64
+}
+
+// Add accumulates o into s.
+func (s *StealStats) Add(o StealStats) {
+	s.MorselsExecuted += o.MorselsExecuted
+	s.MorselsStolen += o.MorselsStolen
+	s.Attempts += o.Attempts
+	s.Failures += o.Failures
+}
+
+// imbalance is max/mean over per-worker busy time; 1.0 is perfectly
+// balanced, and 0 means no busy time was recorded at all.
+func imbalance(busy []time.Duration) float64 {
+	if len(busy) == 0 {
+		return 0
+	}
+	var sum, max time.Duration
+	for _, b := range busy {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(busy))
+	return float64(max) / mean
+}
+
 // StratumStats describes one stratum's execution.
 type StratumStats struct {
 	Preds          []string
@@ -145,7 +195,19 @@ type StratumStats struct {
 	// rejects, audited key-compare skips, Bloom-guard skips — for this
 	// stratum.
 	Probe storage.ProbeCounters
+	// BusyTime is per-worker evaluation time: kernel execution over
+	// seeds, local deltas and morsels (own or stolen), excluding
+	// gathers, gates and parked waiting. Its spread is what the steal
+	// plane exists to flatten.
+	BusyTime []time.Duration
+	// Steal sums the workers' morsel-scheduler counters for this
+	// stratum.
+	Steal StealStats
 }
+
+// Imbalance is the stratum's busy-time imbalance ratio (max/mean); 1.0
+// is perfectly balanced.
+func (s *StratumStats) Imbalance() float64 { return imbalance(s.BusyTime) }
 
 // Stats summarizes a run.
 type Stats struct {
@@ -162,7 +224,28 @@ type Stats struct {
 	Strata   []StratumStats
 	// Probe sums the per-stratum probe counters over the whole run.
 	Probe storage.ProbeCounters
+	// Steal sums the per-stratum morsel-scheduler counters over the
+	// whole run.
+	Steal StealStats
 }
+
+// BusyTime sums each worker's evaluation time over all strata.
+func (s *Stats) BusyTime() []time.Duration {
+	busy := make([]time.Duration, s.Workers)
+	for _, st := range s.Strata {
+		for i, b := range st.BusyTime {
+			if i < len(busy) {
+				busy[i] += b
+			}
+		}
+	}
+	return busy
+}
+
+// Imbalance is the run-wide busy-time imbalance ratio (max/mean busy
+// over workers, busy summed across strata); 1.0 is perfectly balanced,
+// 0 means nothing was measured.
+func (s *Stats) Imbalance() float64 { return imbalance(s.BusyTime()) }
 
 // TotalIters sums local iterations over all workers and strata.
 func (s *Stats) TotalIters() int64 {

@@ -413,6 +413,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.metrics.ProbeKeySkips.Add(stats.Probe.KeySkips)
 	s.metrics.ProbeBloomChecks.Add(stats.Probe.BloomChecks)
 	s.metrics.ProbeBloomSkips.Add(stats.Probe.BloomSkips)
+	s.metrics.StealMorsels.Add(stats.Steal.MorselsExecuted)
+	s.metrics.StealStolen.Add(stats.Steal.MorselsStolen)
+	s.metrics.StealAttempts.Add(stats.Steal.Attempts)
+	s.metrics.StealFailures.Add(stats.Steal.Failures)
 	s.metrics.SetupSeconds.Observe(stats.SetupDuration)
 
 	writeJSON(w, http.StatusOK, resp)

@@ -368,6 +368,10 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"dcserve_probe_key_skips_total",
 		"dcserve_probe_bloom_checks_total",
 		"dcserve_probe_bloom_skips_total",
+		"dcserve_steal_morsels_total",
+		"dcserve_steal_stolen_total",
+		"dcserve_steal_attempts_total",
+		"dcserve_steal_failures_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q\n%s", want, text)

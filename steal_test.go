@@ -1,0 +1,72 @@
+package dcdatalog
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/queries"
+)
+
+// TestStealDifferentialAllQueries runs every paper query under each
+// coordination strategy with the morsel scheduler on (the default) and
+// off (WithoutStealing) — cold, and on again through the warm
+// prepared-base path (Prepare + two Execs, so the second Exec attaches
+// memoized indexes while thieves execute shared delta blocks) — and
+// requires identical results throughout. Stealing only moves where a
+// delta block is evaluated; derived tuples route through the same hash
+// partitioning either way, so any divergence is a scheduler bug.
+// Float-valued queries (PR) compare within the differential suite's
+// relative tolerance.
+func TestStealDifferentialAllQueries(t *testing.T) {
+	strategies := []struct {
+		name string
+		s    Strategy
+	}{{"global", Global}, {"ssp", SSP}, {"dws", DWS}}
+	for _, q := range queries.All() {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			load, params := paperQueryData(t, q)
+			for _, st := range strategies {
+				st := st
+				t.Run(st.name, func(t *testing.T) {
+					base := append([]Option{WithWorkers(4), WithStrategy(st.s)}, params...)
+
+					off := NewDatabase()
+					load(off)
+					offRes, err := off.Query(q.Source, append(base, WithoutStealing())...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if n := offRes.Stats().Steal.MorselsExecuted; n != 0 {
+						t.Fatalf("WithoutStealing run executed %d morsels", n)
+					}
+
+					on := NewDatabase()
+					load(on)
+					onRes, err := on.Query(q.Source, base...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameRows(t, onRes.Rows(q.Output), offRes.Rows(q.Output))
+
+					// Warm path: the second Exec reuses cached indexes from
+					// the shared base while the steal plane stays live.
+					warm := NewDatabase()
+					load(warm)
+					prep, err := warm.Prepare(q.Source, base...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := prep.Exec(context.Background()); err != nil {
+						t.Fatal(err)
+					}
+					warmRes, err := prep.Exec(context.Background())
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameRows(t, warmRes.Rows(q.Output), offRes.Rows(q.Output))
+				})
+			}
+		})
+	}
+}
