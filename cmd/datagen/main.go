@@ -8,7 +8,9 @@
 //	datagen -kind livejournal -scale 0.001 -o lj.tsv
 //
 // Add -weights 100 to attach uniform edge weights, -undirect to double
-// every edge.
+// every edge. Add -updates 1000 -insfrac 0.6 to also emit an
+// insert/delete stream over the generated graph as <out>.updates, one
+// op per line: a "+" or "-" field followed by the edge's columns.
 package main
 
 import (
@@ -38,6 +40,8 @@ func mainErr() error {
 	seed := flag.Int64("seed", 42, "generator seed")
 	weights := flag.Int64("weights", 0, "attach uniform weights in [1,w]")
 	undirect := flag.Bool("undirect", false, "emit both edge directions")
+	updates := flag.Int("updates", 0, "also emit an insert/delete stream of this many ops as <out>.updates")
+	insFrac := flag.Float64("insfrac", 0.5, "insertion fraction of the update stream")
 	out := flag.String("o", "", "output file (required)")
 	flag.Parse()
 
@@ -105,7 +109,55 @@ func mainErr() error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d rows)\n", *out, len(tuples))
+
+	if *updates > 0 {
+		if *weights > 0 {
+			return fmt.Errorf("-updates does not support weighted output")
+		}
+		// Hub graphs keep their source skew in the stream; everything
+		// else inserts uniformly. The vertex space is whatever the
+		// generator actually produced (tree and real-graph kinds don't
+		// take -n).
+		exp := 0.0
+		if *kind == "hub" {
+			exp = *skew
+		}
+		vspace := int64(2)
+		for _, e := range edges {
+			if e.Src >= vspace {
+				vspace = e.Src + 1
+			}
+			if e.Dst >= vspace {
+				vspace = e.Dst + 1
+			}
+		}
+		ops := datasets.UpdateStream(edges, vspace, *updates, *insFrac, exp, *seed+1)
+		if err := writeUpdates(*out+".updates", ops); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s.updates (%d ops, %.0f%% inserts)\n", *out, len(ops), 100**insFrac)
+	}
 	return nil
+}
+
+func writeUpdates(path string, ops []datasets.UpdateOp) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, op := range ops {
+		sign := "+"
+		if op.Delete {
+			sign = "-"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\n", sign, op.Edge.Src, op.Edge.Dst)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeTuples(path string, tuples []storage.Tuple) error {

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"maps"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -35,6 +36,7 @@ import (
 
 	"repro/internal/coord"
 	"repro/internal/engine"
+	"repro/internal/ivm"
 	"repro/internal/parser"
 	"repro/internal/pcg"
 	"repro/internal/physical"
@@ -81,19 +83,28 @@ const (
 
 // Database holds extensional relations and interned symbols.
 type Database struct {
-	syms    *storage.SymbolTable
+	syms *storage.SymbolTable
+
+	// mu guards schemas, data and views. Loads and mutations take the
+	// write lock; queries snapshot slice headers under the read lock.
+	mu      sync.RWMutex
 	schemas map[string]*storage.Schema
 	data    map[string][]storage.Tuple
+	views   map[string]*View
 
 	// The shared prepared-base plane: one immutable snapshot of the
 	// loaded relations plus a memoized per-lookup-signature index
 	// cache, shared by every Prepared/Query on this database. version
-	// bumps on every load so a stale snapshot is rebuilt rather than
-	// served.
+	// bumps on every mutation so a stale snapshot is rebuilt rather
+	// than served; changed tracks WHICH relations moved, so the rebuild
+	// rebases — dropping only their index entries — instead of starting
+	// cold.
 	baseMu      sync.Mutex
 	version     int64
 	base        *engine.PreparedBase
 	baseVersion int64
+	changed     map[string]bool
+	changedAll  bool
 }
 
 // NewDatabase returns an empty database.
@@ -102,26 +113,54 @@ func NewDatabase() *Database {
 		syms:    storage.NewSymbolTable(),
 		schemas: make(map[string]*storage.Schema),
 		data:    make(map[string][]storage.Tuple),
+		views:   make(map[string]*View),
 	}
 }
 
-// dirty records a mutation of the loaded relations, invalidating the
-// current prepared-base snapshot.
-func (db *Database) dirty() {
+// dirty records a mutation of the named relations (none = everything),
+// invalidating their slice of the prepared-base snapshot.
+func (db *Database) dirty(names ...string) {
 	db.baseMu.Lock()
 	db.version++
+	if len(names) == 0 {
+		db.changedAll = true
+	} else {
+		if db.changed == nil {
+			db.changed = make(map[string]bool)
+		}
+		for _, n := range names {
+			db.changed[n] = true
+		}
+	}
 	db.baseMu.Unlock()
 }
 
+// snapshotData copies the relation map (slice headers only; appends
+// happen on fresh backing past each snapshot's length, deletes swap in
+// new slices, so a snapshot never observes later mutations).
+func (db *Database) snapshotData() map[string][]storage.Tuple {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return maps.Clone(db.data)
+}
+
 // sharedBase returns the database's prepared base, (re)snapshotting if
-// relations were loaded since the last call. The snapshot copies slice
-// headers only; building indexes is deferred to (and memoized across)
-// the runs that need them.
+// relations were mutated since the last call. When only some relations
+// changed, the new base is a Rebase of the old: untouched relations
+// keep their memoized indexes and only the changed ones rebuild on
+// next use.
 func (db *Database) sharedBase() *engine.PreparedBase {
 	db.baseMu.Lock()
 	defer db.baseMu.Unlock()
 	if db.base == nil || db.baseVersion != db.version {
-		db.base = engine.NewPreparedBase(db.schemas, db.data)
+		data := db.snapshotData()
+		if db.base != nil && !db.changedAll {
+			db.base = db.base.Rebase(db.schemas, data, db.changed)
+		} else {
+			db.base = engine.NewPreparedBase(db.schemas, data)
+		}
+		db.changed = nil
+		db.changedAll = false
 		db.baseVersion = db.version
 	}
 	return db.base
@@ -148,6 +187,8 @@ func (db *Database) Declare(name string, cols ...Column) error {
 	if len(cols) == 0 {
 		return fmt.Errorf("dcdatalog: relation %q needs at least one column", name)
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, ok := db.schemas[name]; ok {
 		return fmt.Errorf("dcdatalog: relation %q already declared", name)
 	}
@@ -165,6 +206,8 @@ func (db *Database) MustDeclare(name string, cols ...Column) {
 // DeclareSchema registers a prebuilt schema (as produced by
 // internal/queries).
 func (db *Database) DeclareSchema(s *storage.Schema) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, ok := db.schemas[s.Name]; ok {
 		return fmt.Errorf("dcdatalog: relation %q already declared", s.Name)
 	}
@@ -172,29 +215,96 @@ func (db *Database) DeclareSchema(s *storage.Schema) error {
 	return nil
 }
 
-// Load appends rows to a declared relation, converting Go values
-// (int/int64/float64/string) per the schema.
-func (db *Database) Load(name string, rows [][]any) error {
+// encodeRows converts Go value rows to tuples per the schema.
+func (db *Database) encodeRows(name string, rows [][]any) ([]storage.Tuple, error) {
+	db.mu.RLock()
 	schema, ok := db.schemas[name]
+	db.mu.RUnlock()
 	if !ok {
-		return fmt.Errorf("dcdatalog: relation %q is not declared", name)
+		return nil, fmt.Errorf("dcdatalog: relation %q is not declared", name)
 	}
+	tuples := make([]storage.Tuple, 0, len(rows))
 	for _, row := range rows {
 		if len(row) != schema.Arity() {
-			return fmt.Errorf("dcdatalog: %s expects %d columns, got %d", name, schema.Arity(), len(row))
+			return nil, fmt.Errorf("dcdatalog: %s expects %d columns, got %d", name, schema.Arity(), len(row))
 		}
 		t := make(storage.Tuple, len(row))
 		for i, v := range row {
 			val, err := db.encode(v, schema.ColType(i))
 			if err != nil {
-				return fmt.Errorf("dcdatalog: %s column %d: %v", name, i+1, err)
+				return nil, fmt.Errorf("dcdatalog: %s column %d: %v", name, i+1, err)
 			}
 			t[i] = val
 		}
-		db.data[name] = append(db.data[name], t)
+		tuples = append(tuples, t)
 	}
-	db.dirty()
+	return tuples, nil
+}
+
+// mutate is the single write path: it applies the tuple batch to the
+// relation, invalidates only that relation's slice of the prepared
+// base, and forwards the change to every materialized view depending on
+// it (views pick it up at their next Refresh). Deletes remove one
+// occurrence per given tuple (multiset semantics); deleting an absent
+// tuple is a no-op.
+func (db *Database) mutate(name string, tuples []storage.Tuple, del bool) error {
+	db.mu.Lock()
+	schema, ok := db.schemas[name]
+	if !ok {
+		db.mu.Unlock()
+		return fmt.Errorf("dcdatalog: relation %q is not declared", name)
+	}
+	for _, t := range tuples {
+		if len(t) != schema.Arity() {
+			db.mu.Unlock()
+			return fmt.Errorf("dcdatalog: %s expects arity %d, got %d", name, schema.Arity(), len(t))
+		}
+	}
+	if del {
+		batch := storage.NewCountedSetRelation(schema)
+		for _, t := range tuples {
+			batch.Add(t)
+		}
+		cur := db.data[name]
+		kept := make([]storage.Tuple, 0, len(cur))
+		for _, t := range cur {
+			if present, _ := batch.Remove(t); present {
+				continue
+			}
+			kept = append(kept, t)
+		}
+		db.data[name] = kept
+	} else {
+		db.data[name] = append(db.data[name], tuples...)
+	}
+	var notify []*View
+	for _, v := range db.views {
+		if v.deps[name] {
+			notify = append(notify, v)
+		}
+	}
+	db.mu.Unlock()
+	db.dirty(name)
+	muts := make([]ivm.Mutation, len(tuples))
+	for i, t := range tuples {
+		muts[i] = ivm.Mutation{Rel: name, Tuple: t, Delete: del}
+	}
+	for _, v := range notify {
+		if err := v.v.Apply(muts); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// Load appends rows to a declared relation, converting Go values
+// (int/int64/float64/string) per the schema.
+func (db *Database) Load(name string, rows [][]any) error {
+	tuples, err := db.encodeRows(name, rows)
+	if err != nil {
+		return err
+	}
+	return db.mutate(name, tuples, false)
 }
 
 // MustLoad is Load that panics on error.
@@ -206,30 +316,61 @@ func (db *Database) MustLoad(name string, rows [][]any) {
 
 // LoadTuples appends pre-encoded tuples (bulk path for generators).
 func (db *Database) LoadTuples(name string, tuples []Tuple) error {
-	schema, ok := db.schemas[name]
-	if !ok {
-		return fmt.Errorf("dcdatalog: relation %q is not declared", name)
+	return db.mutate(name, tuples, false)
+}
+
+// Insert appends rows to a declared relation. Unlike Load it is meant
+// for the mutation path of a live service: it invalidates only this
+// relation's memoized indexes and feeds materialized views' delta
+// queues.
+func (db *Database) Insert(name string, rows [][]any) error {
+	return db.Load(name, rows)
+}
+
+// InsertTuples is Insert for pre-encoded tuples.
+func (db *Database) InsertTuples(name string, tuples []Tuple) error {
+	return db.mutate(name, tuples, false)
+}
+
+// Delete removes one occurrence of each given row from a relation
+// (multiset semantics; absent rows are no-ops).
+func (db *Database) Delete(name string, rows [][]any) error {
+	tuples, err := db.encodeRows(name, rows)
+	if err != nil {
+		return err
 	}
-	for _, t := range tuples {
-		if len(t) != schema.Arity() {
-			return fmt.Errorf("dcdatalog: %s expects arity %d, got %d", name, schema.Arity(), len(t))
-		}
-	}
-	db.data[name] = append(db.data[name], tuples...)
-	db.dirty()
-	return nil
+	return db.mutate(name, tuples, true)
+}
+
+// DeleteTuples is Delete for pre-encoded tuples.
+func (db *Database) DeleteTuples(name string, tuples []Tuple) error {
+	return db.mutate(name, tuples, true)
 }
 
 // LoadTSV reads tab- or whitespace-separated rows into a declared
 // relation.
 func (db *Database) LoadTSV(name string, r io.Reader) error {
+	tuples, err := db.ParseTSV(name, r)
+	if err != nil {
+		return err
+	}
+	return db.mutate(name, tuples, false)
+}
+
+// ParseTSV decodes tab- or whitespace-separated rows per a declared
+// relation's schema without mutating the database. It feeds the
+// insert/delete mutation paths of services that receive rows as text.
+func (db *Database) ParseTSV(name string, r io.Reader) ([]Tuple, error) {
+	db.mu.RLock()
 	schema, ok := db.schemas[name]
+	db.mu.RUnlock()
 	if !ok {
-		return fmt.Errorf("dcdatalog: relation %q is not declared", name)
+		return nil, fmt.Errorf("dcdatalog: relation %q is not declared", name)
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	line := 0
+	var tuples []storage.Tuple
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -238,7 +379,7 @@ func (db *Database) LoadTSV(name string, r io.Reader) error {
 		}
 		fields := strings.Fields(text)
 		if len(fields) != schema.Arity() {
-			return fmt.Errorf("dcdatalog: %s line %d: %d fields, want %d", name, line, len(fields), schema.Arity())
+			return nil, fmt.Errorf("dcdatalog: %s line %d: %d fields, want %d", name, line, len(fields), schema.Arity())
 		}
 		t := make(storage.Tuple, len(fields))
 		for i, f := range fields {
@@ -246,27 +387,53 @@ func (db *Database) LoadTSV(name string, r io.Reader) error {
 			case storage.TInt:
 				v, err := strconv.ParseInt(f, 10, 64)
 				if err != nil {
-					return fmt.Errorf("dcdatalog: %s line %d: %v", name, line, err)
+					return nil, fmt.Errorf("dcdatalog: %s line %d: %v", name, line, err)
 				}
 				t[i] = storage.IntVal(v)
 			case storage.TFloat:
 				v, err := strconv.ParseFloat(f, 64)
 				if err != nil {
-					return fmt.Errorf("dcdatalog: %s line %d: %v", name, line, err)
+					return nil, fmt.Errorf("dcdatalog: %s line %d: %v", name, line, err)
 				}
 				t[i] = storage.FloatVal(v)
 			default:
 				t[i] = storage.SymVal(db.syms.Intern(f))
 			}
 		}
-		db.data[name] = append(db.data[name], t)
+		tuples = append(tuples, t)
 	}
-	db.dirty()
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tuples, nil
 }
 
-// Relation returns the loaded tuples of an extensional relation.
-func (db *Database) Relation(name string) []Tuple { return db.data[name] }
+// Len reports the number of tuples currently stored in an extensional
+// relation (0 when undeclared or empty).
+func (db *Database) Len(name string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.data[name])
+}
+
+// Relation returns the loaded tuples of an extensional relation. The
+// result is a deep copy: mutating it (or the tuples inside) cannot
+// corrupt the database's storage or any snapshot a running query holds.
+func (db *Database) Relation(name string) []Tuple {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	src := db.data[name]
+	if src == nil {
+		return nil
+	}
+	out := make([]Tuple, len(src))
+	for i, t := range src {
+		c := make(storage.Tuple, len(t))
+		copy(c, t)
+		out[i] = c
+	}
+	return out
+}
 
 func (db *Database) encode(v any, t Type) (storage.Value, error) {
 	switch x := v.(type) {
@@ -300,6 +467,7 @@ type config struct {
 	opts      engine.Options
 	params    map[string]physical.Param
 	broadcast bool
+	crossover float64
 }
 
 // Option configures one query execution.
@@ -403,6 +571,15 @@ func WithProbeGroup(g int) Option {
 // paper attributes to SociaLite/DDlog, kept as a comparison baseline.
 func WithBroadcastReplication() Option {
 	return func(c *config, _ *Database) error { c.broadcast = true; return nil }
+}
+
+// WithCrossover sets a materialized view's churn crossover: the
+// fraction of changed tuples (relative to the mutated relations' size)
+// above which Refresh falls back to a full recompute instead of delta
+// propagation. 0 keeps the default (0.3); negative disables incremental
+// maintenance. Only meaningful with Materialize.
+func WithCrossover(x float64) Option {
+	return func(c *config, _ *Database) error { c.crossover = x; return nil }
 }
 
 // WithParam binds a $parameter (int, int64, float64 or string).
@@ -527,22 +704,19 @@ type Prepared struct {
 	opts      engine.Options
 	params    map[string]physical.Param
 	broadcast bool
-	// base is the database's prepared-base snapshot captured at
-	// Prepare: every Exec attaches the same immutable tuple slices and
-	// memoized hash indexes, so only the first execution (per lookup
-	// signature) pays an index build.
-	base *engine.PreparedBase
 }
 
 // Prepare compiles a program once for repeated execution. The returned
-// Prepared is safe for concurrent Exec calls as long as the database's
-// relations are not loaded into concurrently (load everything, then
-// query — the dcserve dataset registry enforces this by construction).
+// Prepared is safe for concurrent Exec calls, including concurrent
+// Insert/Delete mutations: each Exec captures the current prepared-base
+// snapshot, and single-relation mutations invalidate only that
+// relation's memoized indexes (the rest keep serving cache hits).
 func (db *Database) Prepare(src string, opts ...Option) (*Prepared, error) {
 	phys, analysis, c, err := db.compile(src, opts)
 	if err != nil {
 		return nil, err
 	}
+	db.sharedBase() // snapshot eagerly so Exec pays only index builds
 	return &Prepared{
 		db:        db,
 		phys:      phys,
@@ -550,7 +724,6 @@ func (db *Database) Prepare(src string, opts ...Option) (*Prepared, error) {
 		opts:      c.opts,
 		params:    c.params,
 		broadcast: c.broadcast,
-		base:      db.sharedBase(),
 	}, nil
 }
 
@@ -571,8 +744,8 @@ func (p *Prepared) Exec(ctx context.Context, opts ...Option) (*Result, error) {
 	if c.broadcast != p.broadcast || !paramsEqual(c.params, p.params) {
 		return nil, fmt.Errorf("dcdatalog: parameters and replication are fixed at Prepare; re-prepare to change them")
 	}
-	c.opts.Base = p.base
-	res, err := engine.RunContext(ctx, p.phys, p.db.data, c.opts)
+	c.opts.Base = p.db.sharedBase()
+	res, err := engine.RunContext(ctx, p.phys, p.db.snapshotData(), c.opts)
 	if res == nil {
 		return nil, err
 	}
@@ -607,6 +780,152 @@ func (db *Database) QueryContext(ctx context.Context, src string, opts ...Option
 		return nil, err
 	}
 	return p.Exec(ctx)
+}
+
+// RefreshStats describes one materialized-view refresh (see
+// internal/ivm).
+type RefreshStats = ivm.RefreshStats
+
+// ViewStats are a materialized view's cumulative refresh counters.
+type ViewStats = ivm.Stats
+
+// View is a registered materialized view: a program whose IDB fixpoint
+// the database keeps warm across Insert/Delete mutations. Mutations of
+// the view's extensional relations queue automatically; Refresh applies
+// them — incrementally when the batch is small and the program is in
+// the maintainable fragment, by full recompute otherwise.
+type View struct {
+	db   *Database
+	name string
+	deps map[string]bool
+	v    *ivm.View
+}
+
+// Materialize compiles a program, runs it to fixpoint, and registers
+// the result as a named materialized view. Execution options (workers,
+// strategy, WithCrossover, ...) are baked in and used by every refresh.
+func (db *Database) Materialize(name, src string, opts ...Option) (*View, error) {
+	return db.MaterializeContext(context.Background(), name, src, opts...)
+}
+
+// MaterializeContext is Materialize with cancellation of the initial
+// fixpoint computation.
+func (db *Database) MaterializeContext(ctx context.Context, name, src string, opts ...Option) (*View, error) {
+	c := &config{params: make(map[string]physical.Param)}
+	c.opts.Strategy = coord.DWS
+	for _, o := range opts {
+		if err := o(c, db); err != nil {
+			return nil, err
+		}
+	}
+	if c.broadcast {
+		return nil, fmt.Errorf("dcdatalog: broadcast replication is not supported for materialized views")
+	}
+	db.mu.RLock()
+	if _, dup := db.views[name]; dup {
+		db.mu.RUnlock()
+		return nil, fmt.Errorf("dcdatalog: view %q already materialized", name)
+	}
+	schemas := maps.Clone(db.schemas)
+	db.mu.RUnlock()
+	iv, err := ivm.New(ctx, ivm.Config{
+		Name:      name,
+		Source:    src,
+		Schemas:   schemas,
+		Syms:      db.syms,
+		Params:    c.params,
+		Opts:      c.opts,
+		Crossover: c.crossover,
+	}, db.snapshotData())
+	if err != nil {
+		return nil, err
+	}
+	v := &View{db: db, name: name, v: iv, deps: make(map[string]bool)}
+	for _, rel := range iv.EDBRelations() {
+		v.deps[rel] = true
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.views[name]; dup {
+		return nil, fmt.Errorf("dcdatalog: view %q already materialized", name)
+	}
+	db.views[name] = v
+	return v, nil
+}
+
+// View returns a registered materialized view, nil when unknown.
+func (db *Database) View(name string) *View {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.views[name]
+}
+
+// Views lists the registered materialized views, sorted by name.
+func (db *Database) Views() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.views))
+	for name := range db.views {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DropView unregisters a materialized view. Pending mutations are
+// discarded with it.
+func (db *Database) DropView(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.views[name]; !ok {
+		return false
+	}
+	delete(db.views, name)
+	return true
+}
+
+// Name returns the view's registered name.
+func (v *View) Name() string { return v.name }
+
+// Refresh brings the view up to date with every mutation applied since
+// the previous refresh and reports how (see RefreshStats.Mode).
+func (v *View) Refresh(ctx context.Context) (RefreshStats, error) {
+	return v.v.Refresh(ctx)
+}
+
+// Stats returns the view's cumulative refresh counters.
+func (v *View) Stats() ViewStats { return v.v.Stats() }
+
+// Relation returns the raw maintained tuples of a derived relation.
+func (v *View) Relation(pred string) []Tuple { return v.v.Relation(pred) }
+
+// Relations lists the view's derived relations, sorted.
+func (v *View) Relations() []string { return v.v.Relations() }
+
+// Rows decodes a maintained relation into Go values per its schema.
+func (v *View) Rows(pred string) [][]any {
+	schema := v.v.Schema(pred)
+	tuples := v.v.Relation(pred)
+	out := make([][]any, len(tuples))
+	for i, t := range tuples {
+		row := make([]any, len(t))
+		for j, val := range t {
+			switch schema.ColType(j) {
+			case storage.TFloat:
+				row[j] = val.Float()
+			case storage.TSym:
+				if s, ok := v.db.syms.Lookup(val.Sym()); ok {
+					row[j] = s
+				} else {
+					row[j] = val.Sym()
+				}
+			default:
+				row[j] = val.Int()
+			}
+		}
+		out[i] = row
+	}
+	return out
 }
 
 // Explain returns the logical plan and AND/OR tree of a program

@@ -44,6 +44,10 @@ type BenchPoint struct {
 	StealAttempts int64   `json:"steal_attempts"`
 	StealFailures int64   `json:"steal_failures"`
 	Imbalance     float64 `json:"imbalance"`
+	// IVM counters (PR9): materialized-view refresh wall time and
+	// delta-kernel output for the "TC-IVM" sweep cells; zero elsewhere.
+	IvmRefreshNS   int64 `json:"ivm_refresh_ns,omitempty"`
+	IvmDeltaTuples int   `json:"ivm_delta_tuples,omitempty"`
 }
 
 // trackJob is one query × dataset cell of the fixed tracking suite.
@@ -132,6 +136,9 @@ func Trajectory(cfg Config) []BenchPoint {
 			})
 		}
 	}
+	// The IVM sweep (PR9): incremental refresh vs full recompute on the
+	// TC tracking cell across delta sizes.
+	points = append(points, ivmPoints(cfg)...)
 	return points
 }
 

@@ -227,3 +227,60 @@ func TestHubSkew(t *testing.T) {
 		t.Fatalf("clamped exponent generated %d edges", len(got))
 	}
 }
+
+func TestUpdateStream(t *testing.T) {
+	base := Gnp(64, 200, 7)
+	ops := UpdateStream(base, 64, 500, 0.6, 0, 11)
+	if len(ops) != 500 {
+		t.Fatalf("got %d ops, want 500", len(ops))
+	}
+	// Deterministic under the seed.
+	again := UpdateStream(base, 64, 500, 0.6, 0, 11)
+	for i := range ops {
+		if ops[i] != again[i] {
+			t.Fatalf("op %d differs across identical seeds: %+v vs %+v", i, ops[i], again[i])
+		}
+	}
+	// Replaying the stream over the live set: every delete targets a
+	// live edge, every insert is fresh, and the insert fraction is in
+	// the neighborhood asked for.
+	live := make(map[Edge]bool, len(base))
+	for _, e := range base {
+		live[e] = true
+	}
+	ins := 0
+	for i, op := range ops {
+		if op.Delete {
+			if !live[op.Edge] {
+				t.Fatalf("op %d deletes a non-live edge %+v", i, op.Edge)
+			}
+			delete(live, op.Edge)
+		} else {
+			if live[op.Edge] {
+				t.Fatalf("op %d inserts an already-live edge %+v", i, op.Edge)
+			}
+			if op.Edge.Src == op.Edge.Dst || op.Edge.Src >= 64 || op.Edge.Dst >= 64 {
+				t.Fatalf("op %d inserts an out-of-space edge %+v", i, op.Edge)
+			}
+			live[op.Edge] = true
+			ins++
+		}
+	}
+	if frac := float64(ins) / 500; frac < 0.5 || frac > 0.7 {
+		t.Fatalf("insert fraction = %.2f, want ≈0.6", frac)
+	}
+	if got := len(ApplyUpdates(base, ops)); got != len(live) {
+		t.Fatalf("ApplyUpdates live count = %d, want %d", got, len(live))
+	}
+	// A skewed stream concentrates insertions on low-rank sources.
+	skewed := UpdateStream(nil, 1024, 2000, 1.0, 1.5, 13)
+	lowSrc := 0
+	for _, op := range skewed {
+		if op.Edge.Src < 16 {
+			lowSrc++
+		}
+	}
+	if lowSrc < len(skewed)/2 {
+		t.Fatalf("zipf stream: only %d/%d inserts from the 16 hottest sources", lowSrc, len(skewed))
+	}
+}

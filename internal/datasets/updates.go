@@ -1,0 +1,106 @@
+package datasets
+
+import "math/rand"
+
+// UpdateOp is one step of an update stream: an edge inserted into or
+// removed from an evolving graph.
+type UpdateOp struct {
+	Edge   Edge
+	Delete bool
+}
+
+// UpdateStream generates a deterministic insert/delete stream over a
+// base edge set, the workload that drives incremental view
+// maintenance: each op is an insertion with probability insFrac
+// (clamped to [0, 1]) and a deletion otherwise.
+//
+// Insertions draw fresh edges the same way the skewed generators do —
+// Zipf-distributed sources with the given exponent when exponent > 1,
+// uniform endpoints otherwise — over the vertex space [0, n), re-drawn
+// until they miss the currently live edge set, so a hub keeps
+// accumulating out-edges across the stream exactly as it does in the
+// base graph. Deletions remove an edge chosen uniformly from the live
+// set (base edges and earlier insertions that still survive), so the
+// stream never issues a ghost delete; when the live set is empty the
+// op becomes an insertion.
+func UpdateStream(base []Edge, n int64, ops int, insFrac, exponent float64, seed int64) []UpdateOp {
+	if insFrac < 0 {
+		insFrac = 0
+	}
+	if insFrac > 1 {
+		insFrac = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var zipf *rand.Zipf
+	if exponent > 1 && n > 1 {
+		zipf = rand.NewZipf(rng, exponent, 1, uint64(n-1))
+	}
+	draw := func() Edge {
+		for {
+			var src int64
+			if zipf != nil {
+				src = int64(zipf.Uint64())
+			} else {
+				src = rng.Int63n(n)
+			}
+			e := Edge{src, rng.Int63n(n)}
+			if e.Src != e.Dst {
+				return e
+			}
+		}
+	}
+
+	// The live set doubles as a uniform sampler: live lists the edges,
+	// pos maps each edge to its slot so deletion is a swap-remove.
+	live := make([]Edge, len(base))
+	copy(live, base)
+	pos := make(map[Edge]int, len(base))
+	for i, e := range live {
+		pos[e] = i
+	}
+
+	out := make([]UpdateOp, 0, ops)
+	for len(out) < ops {
+		if rng.Float64() < insFrac || len(live) == 0 {
+			e := draw()
+			if _, dup := pos[e]; dup {
+				continue
+			}
+			pos[e] = len(live)
+			live = append(live, e)
+			out = append(out, UpdateOp{Edge: e})
+		} else {
+			i := rng.Intn(len(live))
+			e := live[i]
+			last := len(live) - 1
+			live[i] = live[last]
+			pos[live[i]] = i
+			live = live[:last]
+			delete(pos, e)
+			out = append(out, UpdateOp{Edge: e, Delete: true})
+		}
+	}
+	return out
+}
+
+// ApplyUpdates folds a stream over a base edge set and returns the
+// resulting live edges (order unspecified) — the ground truth an
+// incrementally maintained view must converge to.
+func ApplyUpdates(base []Edge, ops []UpdateOp) []Edge {
+	set := make(map[Edge]bool, len(base)+len(ops))
+	for _, e := range base {
+		set[e] = true
+	}
+	for _, op := range ops {
+		if op.Delete {
+			delete(set, op.Edge)
+		} else {
+			set[op.Edge] = true
+		}
+	}
+	out := make([]Edge, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	return out
+}

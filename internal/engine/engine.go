@@ -119,7 +119,22 @@ func RunContext(ctx context.Context, prog *physical.Program, edb map[string][]st
 	// index set (built at most once across all runs); everything else
 	// builds cold, sharded over the run's worker budget.
 	store := newRelStore(prog.Plan.Analysis.Schemas)
+	if len(opts.Probers) > 0 {
+		// Virtual relations: validate the narrow fully-bound-negation
+		// contract up front (a prober cannot serve scans or joins),
+		// then register the oracles. Probed names skip tuple/index
+		// registration entirely below.
+		if err := validateProbers(prog, opts.Probers); err != nil {
+			return nil, err
+		}
+		for name, p := range opts.Probers {
+			store.attachProber(name, p)
+		}
+	}
 	register := func(name string, tuples []storage.Tuple) {
+		if store.prober(name) != nil {
+			return
+		}
 		lookups := prog.BaseLookups[name]
 		if opts.Base != nil && opts.Base.Has(name) {
 			store.attach(name, opts.Base.Tuples(name), opts.Base.Indexes(name, lookups, opts.Workers))

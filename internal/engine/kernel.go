@@ -41,6 +41,9 @@ const (
 	srcAggScan
 	// srcAggPrefix walks the B+-tree range sharing a bound key prefix.
 	srcAggPrefix
+	// srcProber asks a registered MembershipProber (negation frames
+	// only; the probe key is the full tuple in schema order).
+	srcProber
 )
 
 // kframe is one executable op frame. Cond/let/neg frames are pure
@@ -98,6 +101,10 @@ type kframe struct {
 	inc     incCursor
 	aggCur  btree.Cursor
 	aggOnce bool
+
+	// prober serves srcProber frames: a caller-owned membership oracle
+	// standing in for a stored relation (fully-bound negation only).
+	prober MembershipProber
 }
 
 // bloomState is a join frame's frozen-or-warming Bloom-guard decision.
@@ -208,6 +215,16 @@ func (w *worker) newKernel(r *physical.Rule) *kernel {
 			if acc.PredIdx < 0 {
 				// Base or earlier-stratum relation through the global
 				// store (stratified negation always lands here).
+				if p := w.run.store.prober(acc.Pred); p != nil {
+					// Virtual relation: membership comes from the
+					// registered oracle, not from stored tuples.
+					// validateProbers pinned this to a fully-bound
+					// negation, so the probe key is the whole tuple.
+					f.src = srcProber
+					f.prober = p
+					f.pureKey = true
+					continue
+				}
 				if acc.LookupIdx >= 0 {
 					f.src = srcBaseLookup
 					f.baseIdx = w.run.store.index(acc.Pred, acc.LookupIdx)
@@ -532,6 +549,12 @@ func (f *kframe) exists(slots []storage.Value) bool {
 		key = append(key, src.Get(slots))
 	}
 	f.key = key
+	if f.src == srcProber {
+		// Virtual relation: the key is the full tuple in schema order
+		// (validated at run start); no Bloom, no index — one oracle
+		// call. The buffer is reused, so the oracle must not retain it.
+		return f.prober.ContainsTuple(storage.Tuple(key))
+	}
 	if f.src == srcBaseLookup {
 		idx := f.baseIdx
 		if idx == nil {

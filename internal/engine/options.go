@@ -71,6 +71,14 @@ type Options struct {
 	// and memoize) their hash indexes across runs. Relations outside
 	// the base still come from the edb argument and build cold.
 	Base *PreparedBase
+	// Probers maps virtual relation names to caller-owned membership
+	// oracles. A probed relation carries no tuples: every occurrence in
+	// the program must be a fully-bound stratified negation (validated
+	// at run start), and its anti-join probes dispatch straight to
+	// MembershipProber.ContainsTuple. The ivm plane uses this to let
+	// generated delta rules guard on a view's live fixpoint without
+	// snapshotting or indexing it per refresh.
+	Probers map[string]MembershipProber
 	// Bloom selects the Bloom-guard policy for join and anti-join
 	// probes (see BloomMode).
 	Bloom BloomMode

@@ -30,6 +30,12 @@ type PreparedBase struct {
 	mu      sync.Mutex
 	indexes map[baseIdxKey]*baseIdxEntry
 
+	// parent/aliases implement Derive: an aliased name delegates
+	// tuples and index requests to the parent under its canonical
+	// name, so builds memoize where they survive the derived base.
+	parent  *PreparedBase
+	aliases map[string]string
+
 	hits   atomic.Int64
 	misses atomic.Int64
 }
@@ -79,12 +85,20 @@ func NewPreparedBase(schemas map[string]*storage.Schema, edb map[string][]storag
 
 // Has reports whether the base snapshot covers the relation.
 func (b *PreparedBase) Has(name string) bool {
-	_, ok := b.tuples[name]
+	if _, ok := b.tuples[name]; ok {
+		return true
+	}
+	_, ok := b.aliases[name]
 	return ok
 }
 
 // Tuples returns the snapshot of one relation (nil when absent).
-func (b *PreparedBase) Tuples(name string) []storage.Tuple { return b.tuples[name] }
+func (b *PreparedBase) Tuples(name string) []storage.Tuple {
+	if target, ok := b.aliases[name]; ok {
+		return b.parent.Tuples(target)
+	}
+	return b.tuples[name]
+}
 
 // Indexes returns the relation's index set for the given lookups,
 // building any missing ones with up to `workers` goroutines. Every
@@ -93,6 +107,12 @@ func (b *PreparedBase) Tuples(name string) []storage.Tuple { return b.tuples[nam
 func (b *PreparedBase) Indexes(name string, lookups [][]int, workers int) []*storage.HashIndex {
 	if len(lookups) == 0 {
 		return nil
+	}
+	if target, ok := b.aliases[name]; ok {
+		// Aliased relation: build (and memoize) in the parent under the
+		// canonical name, so the index outlives this derived base and
+		// serves the next refresh's alias too.
+		return b.parent.Indexes(target, lookups, workers)
 	}
 	idxs := make([]*storage.HashIndex, len(lookups))
 	for i, cols := range lookups {
@@ -117,6 +137,67 @@ func (b *PreparedBase) Indexes(name string, lookups [][]int, workers int) []*sto
 		idxs[i] = e.idx
 	}
 	return idxs
+}
+
+// Rebase returns a new base over the given snapshot that keeps b's
+// memoized index entries — and its cumulative hit/miss counters — for
+// every relation NOT named in changed. This is the single-relation
+// invalidation path: mutating one relation used to dirty the whole
+// shared base (every index rebuilt on the next query); with Rebase only
+// the changed relations' entries are dropped and the rest keep serving
+// hits. A nil changed set keeps every entry whose name still exists
+// (pure re-snapshot). The receiver is left untouched, so in-flight runs
+// holding the old base stay consistent.
+func (b *PreparedBase) Rebase(schemas map[string]*storage.Schema, edb map[string][]storage.Tuple, changed map[string]bool) *PreparedBase {
+	nb := NewPreparedBase(schemas, edb)
+	b.mu.Lock()
+	for key, e := range b.indexes {
+		if changed[key.rel] {
+			continue
+		}
+		if _, ok := nb.tuples[key.rel]; !ok {
+			continue
+		}
+		nb.indexes[key] = e
+	}
+	b.mu.Unlock()
+	nb.hits.Store(b.hits.Load())
+	nb.misses.Store(b.misses.Load())
+	return nb
+}
+
+// DerivedRel describes one relation of a Derive call: its tuple
+// snapshot, or the name of a receiver relation it aliases (same tuples
+// under a new name — requests on the alias delegate to the receiver,
+// so index builds land in, and are served from, the receiver's cache).
+type DerivedRel struct {
+	Tuples []storage.Tuple
+	SameAs string
+}
+
+// Derive builds a base for a rewritten program whose relations rename
+// or restate the receiver's. The ivm delete-phase programs see the
+// pre-mutation database under `*__ivmold` names; Derive lets those
+// names delegate to the receiver's settled index entries, which is
+// what keeps an incremental refresh from re-indexing the unchanged 99%
+// of the EDB. Indexes built over fresh (non-alias) relations stay
+// private to the derived base and die with it.
+func (b *PreparedBase) Derive(rels map[string]DerivedRel) *PreparedBase {
+	nb := &PreparedBase{
+		schemas: b.schemas,
+		tuples:  make(map[string][]storage.Tuple, len(rels)),
+		indexes: make(map[baseIdxKey]*baseIdxEntry),
+		parent:  b,
+		aliases: make(map[string]string),
+	}
+	for name, dr := range rels {
+		if dr.SameAs != "" {
+			nb.aliases[name] = dr.SameAs
+			continue
+		}
+		nb.tuples[name] = dr.Tuples
+	}
+	return nb
 }
 
 // BaseStats are the index-cache counters of a PreparedBase: Hits and

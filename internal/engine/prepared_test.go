@@ -165,3 +165,78 @@ func TestColSig(t *testing.T) {
 		}
 	}
 }
+
+// TestPreparedBaseRebase pins the single-relation invalidation
+// contract: rebasing after mutating one relation keeps every other
+// relation's settled index entries (hits, no rebuild) and rebuilds only
+// the changed one (a miss).
+func TestPreparedBaseRebase(t *testing.T) {
+	schemas := map[string]*storage.Schema{
+		"arc":  intSchema("arc", "x", "y"),
+		"node": intSchema("node", "x", "y"),
+	}
+	edb := map[string][]storage.Tuple{
+		"arc":  pairs([][2]int64{{1, 2}, {2, 3}}),
+		"node": pairs([][2]int64{{1, 1}, {2, 2}}),
+	}
+	base := NewPreparedBase(schemas, edb)
+	// Build one index per relation.
+	base.Indexes("arc", [][]int{{0}}, 1)
+	base.Indexes("node", [][]int{{0}}, 1)
+	st := base.Stats()
+	if st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("cold builds: %+v", st)
+	}
+	arcIdx := base.Indexes("arc", [][]int{{0}}, 1)[0]
+	nodeIdx := base.Indexes("node", [][]int{{0}}, 1)[0]
+
+	edb2 := map[string][]storage.Tuple{
+		"arc":  pairs([][2]int64{{1, 2}, {2, 3}, {3, 4}}),
+		"node": edb["node"],
+	}
+	nb := base.Rebase(schemas, edb2, map[string]bool{"arc": true})
+	if got := nb.Indexes("node", [][]int{{0}}, 1)[0]; got != nodeIdx {
+		t.Fatalf("unchanged relation's index was rebuilt")
+	}
+	if got := nb.Indexes("arc", [][]int{{0}}, 1)[0]; got == arcIdx {
+		t.Fatalf("changed relation's index survived the rebase")
+	}
+	if !nb.Indexes("arc", [][]int{{0}}, 1)[0].Contains([]storage.Value{storage.IntVal(3)}) {
+		t.Fatalf("rebased arc index missing the new tuple")
+	}
+	// Counters are cumulative across the rebase: 2 cold + 2 post-rebase
+	// requests of which node hit and arc missed (4+2 total requests).
+	st = nb.Stats()
+	if st.Hits < 2 || st.Misses != 3 {
+		t.Fatalf("post-rebase counters: %+v", st)
+	}
+	// The old base is untouched.
+	if got := base.Indexes("arc", [][]int{{0}}, 1)[0]; got != arcIdx {
+		t.Fatalf("rebase mutated the receiver")
+	}
+}
+
+// TestPreparedBaseDerive pins alias index sharing: a derived base maps
+// renamed relations onto the receiver's snapshots and serves their
+// settled indexes by pointer.
+func TestPreparedBaseDerive(t *testing.T) {
+	schemas := map[string]*storage.Schema{"arc": intSchema("arc", "x", "y")}
+	edb := map[string][]storage.Tuple{"arc": pairs([][2]int64{{1, 2}, {2, 3}})}
+	base := NewPreparedBase(schemas, edb)
+	old := base.Indexes("arc", [][]int{{0}}, 1)[0]
+
+	mid := pairs([][2]int64{{1, 2}})
+	db := base.Derive(map[string]DerivedRel{
+		"arc__ivmold": {SameAs: "arc"},
+		"arc__ivmnew": {Tuples: mid},
+	})
+	if got := db.Indexes("arc__ivmold", [][]int{{0}}, 1)[0]; got != old {
+		t.Fatalf("alias did not share the settled index")
+	}
+	if n := len(db.Tuples("arc__ivmnew")); n != 1 {
+		t.Fatalf("fresh relation has %d tuples, want 1", n)
+	}
+	if db.Has("arc") {
+		t.Fatalf("derive leaked an unlisted relation")
+	}
+}

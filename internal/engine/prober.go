@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/physical"
+	"repro/internal/storage"
+)
+
+// MembershipProber answers exact membership for a virtual relation —
+// one whose tuples live in a caller-owned structure rather than in the
+// run's relation store. The incremental view-maintenance plane
+// (internal/ivm) registers the view's live counted fixpoint under a
+// guard name so that generated delta rules can write `!t__ivmlive(...)`
+// and have the anti-join probe the maintained state directly, with no
+// per-refresh snapshot or index build over the old fixpoint.
+//
+// The engine calls ContainsTuple from every worker concurrently while
+// a run is in flight; implementations must be safe for concurrent
+// read-only use, and the registrar must not mutate the probed
+// structure until RunContext returns. The tuple handed in is a
+// reused buffer in the relation's schema column order — implementations
+// must not retain it.
+type MembershipProber interface {
+	ContainsTuple(t storage.Tuple) bool
+}
+
+// validateProbers enforces the narrow contract under which a prober can
+// replace a stored relation: every occurrence of a probed name must be
+// a stratified negation whose key binds every column in schema order
+// (a full-tuple anti-join). Positive joins and scans would need
+// iteration, which a membership prober cannot provide; a partially
+// bound negation would need an index walk. The compiler gives a
+// fully-bound base negation a registered lookup over the bound columns
+// in ascending column order, so the check below pins exactly that
+// shape and the kernel can hand the probe key to ContainsTuple as-is.
+func validateProbers(prog *physical.Program, probers map[string]MembershipProber) error {
+	checkRule := func(r *physical.Rule) error {
+		if r.Outer != nil {
+			if _, ok := probers[r.Outer.Pred]; ok {
+				return fmt.Errorf("prober relation %s used as a driving scan", r.Outer.Pred)
+			}
+		}
+		for i := range r.Ops {
+			op := &r.Ops[i]
+			if op.Kind != physical.OpJoin && op.Kind != physical.OpNeg {
+				continue
+			}
+			acc := op.Access
+			if _, ok := probers[acc.Pred]; !ok {
+				continue
+			}
+			if op.Kind != physical.OpNeg {
+				return fmt.Errorf("prober relation %s used as a positive join", acc.Pred)
+			}
+			sch := prog.Plan.Analysis.Schemas[acc.Pred]
+			if sch == nil {
+				return fmt.Errorf("prober relation %s has no schema", acc.Pred)
+			}
+			if acc.LookupIdx < 0 || len(acc.KeyCols) != sch.Arity() {
+				return fmt.Errorf("prober relation %s negated with a partially bound key (%d of %d columns)",
+					acc.Pred, len(acc.KeyCols), sch.Arity())
+			}
+			for col, kc := range acc.KeyCols {
+				if kc != col {
+					return fmt.Errorf("prober relation %s negated with non-identity key order %v", acc.Pred, acc.KeyCols)
+				}
+			}
+		}
+		return nil
+	}
+	for _, st := range prog.Strata {
+		for _, rules := range [][]*physical.Rule{st.BaseRules, st.RecRules} {
+			for _, r := range rules {
+				if err := checkRule(r); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -17,6 +17,10 @@ type relStore struct {
 	tuples  map[string][]storage.Tuple
 	// indexes[pred][i] is the hash index for BaseLookups[pred][i].
 	indexes map[string][]*storage.HashIndex
+	// probers maps virtual relation names to caller-owned membership
+	// oracles; the kernel consults them instead of tuples/indexes
+	// (validated to occur only as fully-bound negation).
+	probers map[string]MembershipProber
 }
 
 func newRelStore(schemas map[string]*storage.Schema) *relStore {
@@ -41,6 +45,17 @@ func (s *relStore) attach(name string, tuples []storage.Tuple, idxs []*storage.H
 	s.tuples[name] = tuples
 	s.indexes[name] = idxs
 }
+
+// attachProber registers a membership oracle for a virtual relation.
+func (s *relStore) attachProber(name string, p MembershipProber) {
+	if s.probers == nil {
+		s.probers = make(map[string]MembershipProber)
+	}
+	s.probers[name] = p
+}
+
+// prober returns the relation's membership oracle, if any.
+func (s *relStore) prober(name string) MembershipProber { return s.probers[name] }
 
 // scan returns all tuples of the relation (nil when empty or unknown).
 func (s *relStore) scan(name string) []storage.Tuple { return s.tuples[name] }

@@ -1,0 +1,53 @@
+package ivm
+
+import (
+	"repro/internal/storage"
+)
+
+// liveIndex is an incremental hash index over a counted fixpoint,
+// keyed by a column subset. It chains tuple ordinals under the key
+// hash and extends lazily: each probe batch first indexes the ordinals
+// appended since the last extension — O(new tuples), never a rebuild.
+// Dead (killed) tuples stay chained but are filtered at probe time by
+// their live count; revived tuples need no re-append because their
+// ordinal never left the chain. This is what makes seed-slice
+// computation O(|Δ| · matches) per refresh instead of O(|fixpoint|).
+type liveIndex struct {
+	rel     *storage.CountedSetRelation
+	cols    []int
+	n       int // ordinals [0, n) are indexed
+	buckets map[uint64][]int32
+}
+
+func newLiveIndex(rel *storage.CountedSetRelation, cols []int) *liveIndex {
+	return &liveIndex{rel: rel, cols: cols, buckets: make(map[uint64][]int32)}
+}
+
+// extend indexes ordinals appended since the previous call.
+func (ix *liveIndex) extend() {
+	for ; ix.n < ix.rel.Len(); ix.n++ {
+		h := ix.rel.At(ix.n).HashOn(ix.cols)
+		ix.buckets[h] = append(ix.buckets[h], int32(ix.n))
+	}
+}
+
+// probe visits every live tuple whose indexed columns equal key.
+func (ix *liveIndex) probe(key []storage.Value, fn func(ord int32, t storage.Tuple)) {
+	h := storage.HashValues(key)
+	for _, ord := range ix.buckets[h] {
+		if ix.rel.CountAt(int(ord)) == 0 {
+			continue
+		}
+		t := ix.rel.At(int(ord))
+		match := true
+		for i, c := range ix.cols {
+			if t[c] != key[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			fn(ord, t)
+		}
+	}
+}

@@ -51,6 +51,29 @@ type Metrics struct {
 	// queries against a prepared base land in the lowest buckets, cold
 	// ones in the milliseconds.
 	SetupSeconds Histogram
+
+	// Mutation-path counters: accepted mutation batches, tuples
+	// inserted/deleted, and batches that failed validation or were shed
+	// by admission control.
+	MutationsOK       atomic.Int64
+	MutationsFailed   atomic.Int64
+	MutationsRejected atomic.Int64
+	TuplesInserted    atomic.Int64
+	TuplesDeleted     atomic.Int64
+
+	// Materialized-view counters: refreshes by mode and the summed
+	// delta-kernel output (tuples added + over-deleted + re-derived) of
+	// incremental refreshes. A dashboard divides IvmDeltaTuples by
+	// IvmRefreshIncremental to see the average incremental batch the
+	// views absorb without recomputing.
+	IvmRefreshIncremental atomic.Int64
+	IvmRefreshFull        atomic.Int64
+	IvmDeltaTuples        atomic.Int64
+
+	// IvmRefreshSeconds distributes view-refresh wall time: incremental
+	// refreshes of small deltas land decades below the cold fixpoint
+	// recompute they replace.
+	IvmRefreshSeconds Histogram
 }
 
 // setupBuckets are the Histogram's upper bounds in seconds. Decades
@@ -135,10 +158,19 @@ func (m *Metrics) WritePrometheus(w io.Writer, counters []counter, gauges ...gau
 	emit("dcserve_steal_stolen_total", "Published morsels executed by a worker other than their owner.", m.StealStolen.Load())
 	emit("dcserve_steal_attempts_total", "Steal probes against a peer's deque.", m.StealAttempts.Load())
 	emit("dcserve_steal_failures_total", "Steal probes that lost the race for an already-drained deque.", m.StealFailures.Load())
+	emit("dcserve_mutations_total", "Mutation batches applied.", m.MutationsOK.Load())
+	emit("dcserve_mutations_failed_total", "Mutation batches that failed validation or application.", m.MutationsFailed.Load())
+	emit("dcserve_mutations_rejected_total", "Mutation batches shed by admission control.", m.MutationsRejected.Load())
+	emit("dcserve_tuples_inserted_total", "EDB tuples inserted via the mutation endpoint.", m.TuplesInserted.Load())
+	emit("dcserve_tuples_deleted_total", "EDB tuples deleted via the mutation endpoint.", m.TuplesDeleted.Load())
+	emit("dcserve_ivm_refresh_incremental_total", "View refreshes served by the delta kernel.", m.IvmRefreshIncremental.Load())
+	emit("dcserve_ivm_refresh_full_total", "View refreshes that fell back to a full recompute.", m.IvmRefreshFull.Load())
+	emit("dcserve_ivm_delta_tuples_total", "Delta-kernel tuples (added, over-deleted, re-derived) across incremental refreshes.", m.IvmDeltaTuples.Load())
 	for _, c := range counters {
 		emit(c.name, c.help, c.value)
 	}
 	m.SetupSeconds.write(w, "dcserve_setup_seconds", "Per-query setup time (base registration and index attach/build) in seconds.")
+	m.IvmRefreshSeconds.write(w, "dcserve_ivm_refresh_seconds", "Materialized-view refresh wall time in seconds.")
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.value)
 	}

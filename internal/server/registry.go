@@ -1,10 +1,13 @@
 // Package server turns the engine into a long-lived query service:
-// named datasets are loaded once and shared read-only across queries,
-// programs are compiled once per (dataset, text, params) and cached as
-// immutable physical plans, and an admission controller multiplexes
-// concurrent evaluations over a bounded machine-wide worker budget.
-// Evaluation is fully cancellable — a client disconnect or per-query
-// deadline aborts a recursion mid-fixpoint through engine.RunContext.
+// named datasets are loaded once and shared across queries, programs
+// are compiled once per (dataset, text, params) and cached as immutable
+// physical plans, and an admission controller multiplexes concurrent
+// evaluations over a bounded machine-wide worker budget. Evaluation is
+// fully cancellable — a client disconnect or per-query deadline aborts
+// a recursion mid-fixpoint through engine.RunContext. Datasets accept
+// post-registration mutations through POST /v1/mutate: the Database is
+// internally synchronized, queries run over immutable snapshots, and
+// registered materialized views absorb each batch incrementally.
 package server
 
 import (
@@ -31,25 +34,26 @@ type RelationSpec struct {
 	Path string `json:"path,omitempty"`
 }
 
-// Dataset is one immutable named database: relations are loaded at
-// registration and never mutated afterwards, so any number of
-// concurrent queries share its tuples, schemas and symbol table
-// without synchronization.
+// Dataset is one named database. Relations are bulk-loaded at
+// registration; afterwards the mutation endpoint may insert and delete
+// tuples. Concurrent queries are safe throughout: each evaluation runs
+// over an immutable snapshot taken when it starts.
 type Dataset struct {
 	Name string
 	db   *dcdatalog.Database
-	// rows counts loaded tuples per relation (for introspection).
-	rows map[string]int
+	// rels names the declared relations in registration order.
+	rels []string
 }
 
-// DB returns the dataset's frozen database.
+// DB returns the dataset's database.
 func (d *Dataset) DB() *dcdatalog.Database { return d.db }
 
-// Relations describes the dataset as "name(rows)" strings, sorted.
+// Relations describes the dataset as "name(rows)" strings, sorted,
+// with live row counts (mutations move them).
 func (d *Dataset) Relations() []string {
-	out := make([]string, 0, len(d.rows))
-	for name, n := range d.rows {
-		out = append(out, fmt.Sprintf("%s(%d)", name, n))
+	out := make([]string, 0, len(d.rels))
+	for _, name := range d.rels {
+		out = append(out, fmt.Sprintf("%s(%d)", name, d.db.Len(name)))
 	}
 	sort.Strings(out)
 	return out
@@ -69,9 +73,9 @@ func parseColType(s string) (dcdatalog.Type, error) {
 	}
 }
 
-// BuildDataset declares and loads every relation, returning a frozen
-// dataset. Loading happens entirely before the dataset becomes
-// visible, so readers never observe a partially loaded relation.
+// BuildDataset declares and loads every relation. Loading happens
+// entirely before the dataset becomes visible, so readers never observe
+// a partially loaded relation.
 func BuildDataset(name string, rels []RelationSpec) (*Dataset, error) {
 	if name == "" {
 		return nil, fmt.Errorf("dataset needs a name")
@@ -80,7 +84,7 @@ func BuildDataset(name string, rels []RelationSpec) (*Dataset, error) {
 		return nil, fmt.Errorf("dataset %q needs at least one relation", name)
 	}
 	db := dcdatalog.NewDatabase()
-	rows := make(map[string]int, len(rels))
+	names := make([]string, 0, len(rels))
 	for _, r := range rels {
 		if r.Name == "" {
 			return nil, fmt.Errorf("dataset %q: relation needs a name", name)
@@ -114,19 +118,19 @@ func BuildDataset(name string, rels []RelationSpec) (*Dataset, error) {
 				return nil, fmt.Errorf("dataset %q relation %q: %v", name, r.Name, err)
 			}
 		}
-		rows[r.Name] = len(db.Relation(r.Name))
+		names = append(names, r.Name)
 	}
 	// Snapshot the prepared-base plane at registration: every query on
 	// this dataset shares one immutable tuple snapshot and one memoized
 	// index cache, so base indexes are built once per lookup signature
 	// for the dataset's whole lifetime.
 	db.Prewarm()
-	return &Dataset{Name: name, db: db, rows: rows}, nil
+	return &Dataset{Name: name, db: db, rels: names}, nil
 }
 
 // Registry is the named dataset registry. Registration is
-// register-once: a dataset is immutable after it appears, which is
-// what makes lock-free sharing across in-flight queries sound.
+// register-once: a dataset's identity never changes after it appears
+// (its contents evolve only through the synchronized mutation path).
 type Registry struct {
 	mu       sync.RWMutex
 	datasets map[string]*Dataset

@@ -100,6 +100,9 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/mutate", s.handleMutate)
+	s.mux.HandleFunc("POST /v1/views", s.handleCreateView)
+	s.mux.HandleFunc("GET /v1/views", s.handleListViews)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s

@@ -296,6 +296,21 @@ func TestGracefulDrain(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("query during drain: status %d, want 503", resp.StatusCode)
 	}
+	// So are mutations and view creation: writes are part of the same
+	// drain boundary.
+	mresp, _ := postJSON(t, ts, "/v1/mutate", map[string]any{
+		"dataset": "graph",
+		"ops":     []map[string]any{{"relation": "arc", "insert": "100\t0\n"}},
+	})
+	if mresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mutate during drain: status %d, want 503", mresp.StatusCode)
+	}
+	vresp, _ := postJSON(t, ts, "/v1/views", map[string]any{
+		"dataset": "graph", "name": "tc", "program": tcProgram,
+	})
+	if vresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("view create during drain: status %d, want 503", vresp.StatusCode)
+	}
 	hresp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)

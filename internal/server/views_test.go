@@ -1,0 +1,294 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func scrapeMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return string(body)
+}
+
+// TestMutateAndViewFlow is the end-to-end service path: materialize a
+// TC view, mutate the EDB through the endpoint, and observe the view
+// refreshed incrementally (not recomputed), with the delta visible to
+// subsequent queries and in the scrape.
+func TestMutateAndViewFlow(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerCycle(t, ts, "graph", 16)
+
+	resp, body := postJSON(t, ts, "/v1/views", map[string]any{
+		"dataset": "graph", "name": "tc_view", "program": tcProgram,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create view: status %d: %v", resp.StatusCode, body)
+	}
+	if body["view"] != "tc_view" || body["ineligible"] != nil {
+		t.Fatalf("view info = %v", body)
+	}
+
+	// Duplicates conflict; unknown datasets 404; broken programs 400.
+	resp, _ = postJSON(t, ts, "/v1/views", map[string]any{
+		"dataset": "graph", "name": "tc_view", "program": tcProgram,
+	})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate view: status %d, want 409", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts, "/v1/views", map[string]any{
+		"dataset": "nope", "name": "x", "program": tcProgram,
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown dataset: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts, "/v1/views", map[string]any{
+		"dataset": "graph", "name": "broken", "program": "tc(X :- nope",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("broken program: status %d, want 400", resp.StatusCode)
+	}
+
+	// Insert a pendant edge 100→0: node 100 now reaches the whole
+	// 16-cycle, so tc grows by exactly 16 rows.
+	resp, body = postJSON(t, ts, "/v1/mutate", map[string]any{
+		"dataset": "graph",
+		"ops":     []map[string]any{{"relation": "arc", "insert": "100\t0\n"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate: status %d: %v", resp.StatusCode, body)
+	}
+	if body["inserted"] != float64(1) {
+		t.Fatalf("inserted = %v, want 1", body["inserted"])
+	}
+	views, _ := body["views"].(map[string]any)
+	vr, _ := views["tc_view"].(map[string]any)
+	if vr == nil || vr["mode"] != "incremental" {
+		t.Fatalf("view refresh = %v, want incremental", views)
+	}
+	if dt, _ := vr["delta_tuples"].(float64); dt < 16 {
+		t.Fatalf("delta_tuples = %v, want >= 16", vr["delta_tuples"])
+	}
+
+	// Queries over the mutated dataset see the new fixpoint.
+	qresp, qr := postQuery(t, ts, queryRequest{Dataset: "graph", Program: tcProgram, Relations: []string{"tc"}})
+	if qresp.StatusCode != http.StatusOK || qr.Counts["tc"] != 272 {
+		t.Fatalf("post-insert tc count = %d (status %d), want 272", qr.Counts["tc"], qresp.StatusCode)
+	}
+
+	// Delete the edge again: counting DRed retracts the 16 rows.
+	resp, body = postJSON(t, ts, "/v1/mutate", map[string]any{
+		"dataset": "graph",
+		"ops":     []map[string]any{{"relation": "arc", "delete": "100\t0\n"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete mutate: status %d: %v", resp.StatusCode, body)
+	}
+	if body["deleted"] != float64(1) {
+		t.Fatalf("deleted = %v, want 1", body["deleted"])
+	}
+	views, _ = body["views"].(map[string]any)
+	vr, _ = views["tc_view"].(map[string]any)
+	if vr == nil || vr["mode"] != "incremental" {
+		t.Fatalf("delete refresh = %v, want incremental", views)
+	}
+	_, qr = postQuery(t, ts, queryRequest{Dataset: "graph", Program: tcProgram, Relations: []string{"tc"}})
+	if qr.Counts["tc"] != 256 {
+		t.Fatalf("post-delete tc count = %d, want 256", qr.Counts["tc"])
+	}
+
+	// The view registry reports both refreshes as incremental.
+	lresp, err := http.Get(ts.URL + "/v1/views")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Views []viewInfo `json:"views"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if len(list.Views) != 1 {
+		t.Fatalf("views = %+v, want 1", list.Views)
+	}
+	vi := list.Views[0]
+	if vi.View != "tc_view" || vi.Refreshes != 2 || vi.Incremental != 2 || vi.Full != 0 {
+		t.Fatalf("view info = %+v, want 2 incremental refreshes and no full recompute", vi)
+	}
+
+	// The scrape carries the mutation and refresh counters.
+	text := scrapeMetrics(t, ts)
+	for _, want := range []string{
+		"dcserve_mutations_total 2",
+		"dcserve_mutations_failed_total 0",
+		"dcserve_tuples_inserted_total 1",
+		"dcserve_tuples_deleted_total 1",
+		"dcserve_ivm_refresh_incremental_total 2",
+		"dcserve_ivm_refresh_full_total 0",
+		"dcserve_ivm_refresh_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "dcserve_ivm_delta_tuples_total 0\n") {
+		t.Error("ivm delta counter stuck at zero")
+	}
+}
+
+// TestMutateValidation: malformed ops fail atomically before any
+// tuple is applied.
+func TestMutateValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerCycle(t, ts, "graph", 8)
+
+	resp, _ := postJSON(t, ts, "/v1/mutate", map[string]any{
+		"dataset": "graph", "ops": []map[string]any{},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty ops: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts, "/v1/mutate", map[string]any{
+		"dataset": "nope",
+		"ops":     []map[string]any{{"relation": "arc", "insert": "1\t2\n"}},
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown dataset: status %d, want 404", resp.StatusCode)
+	}
+	// Second op is malformed (arity), so the valid first op must not
+	// have been applied either.
+	resp, _ = postJSON(t, ts, "/v1/mutate", map[string]any{
+		"dataset": "graph",
+		"ops": []map[string]any{
+			{"relation": "arc", "insert": "50\t51\n"},
+			{"relation": "arc", "insert": "1\t2\t3\n"},
+		},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad arity: status %d, want 400", resp.StatusCode)
+	}
+	_, qr := postQuery(t, ts, queryRequest{Dataset: "graph", Program: tcProgram, Relations: []string{"tc"}})
+	if qr.Counts["tc"] != 64 {
+		t.Fatalf("tc count = %d, want 64 (failed batch must not half-apply)", qr.Counts["tc"])
+	}
+}
+
+// TestMutateOverloadReturns429: mutations share the admission plane —
+// with the only worker slot held and no queue, a mutation is shed.
+func TestMutateOverloadReturns429(t *testing.T) {
+	s, ts := newTestServer(t, Config{WorkerBudget: 1, MaxQueue: -1})
+	registerCycle(t, ts, "graph", 64)
+	first := make(chan int, 1)
+	go func() {
+		resp, _ := postQuery(t, ts, queryRequest{Dataset: "graph", Program: divergingProgram, TimeoutMS: 800})
+		first <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return s.adm.InUse() == 1 })
+	resp, _ := postJSON(t, ts, "/v1/mutate", map[string]any{
+		"dataset": "graph",
+		"ops":     []map[string]any{{"relation": "arc", "insert": "100\t0\n"}},
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	if s.metrics.MutationsRejected.Load() != 1 {
+		t.Fatalf("mutations rejected metric = %d", s.metrics.MutationsRejected.Load())
+	}
+	if code := <-first; code != http.StatusGatewayTimeout {
+		t.Fatalf("occupying query: status %d, want 504", code)
+	}
+	// The shed mutation must not have been applied.
+	_, qr := postQuery(t, ts, queryRequest{Dataset: "graph", Program: "e(X, Y) :- arc(X, Y).", Relations: []string{"e"}})
+	if qr.Counts["e"] != 64 {
+		t.Fatalf("arc count = %d, want 64", qr.Counts["e"])
+	}
+}
+
+// TestMutateQueuesBehindLoad: with a queue available, a mutation waits
+// for the write slot instead of being shed, then applies.
+func TestMutateQueuesBehindLoad(t *testing.T) {
+	s, ts := newTestServer(t, Config{WorkerBudget: 1, MaxQueue: 8})
+	registerCycle(t, ts, "graph", 32)
+	first := make(chan int, 1)
+	go func() {
+		resp, _ := postQuery(t, ts, queryRequest{Dataset: "graph", Program: divergingProgram, TimeoutMS: 300})
+		first <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return s.adm.InUse() == 1 })
+	resp, body := postJSON(t, ts, "/v1/mutate", map[string]any{
+		"dataset":    "graph",
+		"ops":        []map[string]any{{"relation": "arc", "insert": "100\t0\n"}},
+		"timeout_ms": 5000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("queued mutation: status %d: %v", resp.StatusCode, body)
+	}
+	if code := <-first; code != http.StatusGatewayTimeout {
+		t.Fatalf("occupying query: status %d, want 504", code)
+	}
+	_, qr := postQuery(t, ts, queryRequest{Dataset: "graph", Program: "e(X, Y) :- arc(X, Y).", Relations: []string{"e"}})
+	if qr.Counts["e"] != 33 {
+		t.Fatalf("arc count = %d, want 33", qr.Counts["e"])
+	}
+}
+
+// TestViewFullFallbackOverHTTP: a 100%-churn batch crosses the
+// crossover and the service reports the full-recompute fallback.
+func TestViewFullFallbackOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerCycle(t, ts, "graph", 8)
+	resp, body := postJSON(t, ts, "/v1/views", map[string]any{
+		"dataset": "graph", "name": "tc", "program": tcProgram,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create view: status %d: %v", resp.StatusCode, body)
+	}
+	// Replace every edge: churn 2.0 ≫ crossover.
+	resp, body = postJSON(t, ts, "/v1/mutate", map[string]any{
+		"dataset": "graph",
+		"ops": []map[string]any{{
+			"relation": "arc",
+			"insert":   chainTSV(8),
+			"delete":   cycleTSV(8),
+		}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate: status %d: %v", resp.StatusCode, body)
+	}
+	views, _ := body["views"].(map[string]any)
+	vr, _ := views["tc"].(map[string]any)
+	if vr == nil || vr["mode"] != "full" {
+		t.Fatalf("refresh = %v, want full fallback", views)
+	}
+	text := scrapeMetrics(t, ts)
+	if !strings.Contains(text, "dcserve_ivm_refresh_full_total 1") {
+		t.Errorf("metrics missing full-refresh count:\n%s", text)
+	}
+}

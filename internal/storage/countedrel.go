@@ -1,0 +1,224 @@
+package storage
+
+// CountedSetRelation is a SetRelation variant that keeps a per-tuple
+// support count beside the membership table, for the incremental
+// view-maintenance plane (internal/ivm). It shares SetRelation's
+// layout — append-only tuple arena, 8-byte ordered view refs, an
+// open-addressed insert-only table with inline hashes — plus one int32
+// count lane parallel to views. Two client conventions share the type:
+//
+//   - EDB mirrors use the count as multiset multiplicity: Add on a
+//     present tuple bumps it, Remove decrements, and the tuple is
+//     "live" while the count is positive. This is what turns a raw
+//     insert/delete stream into net set-level deltas.
+//   - IDB fixpoints use the count as a DRed liveness flag: derived
+//     tuples sit at 1, the over-delete pass Kills them to 0, and the
+//     re-derive pass Revives survivors. A revived tuple keeps its
+//     ordinal, so incremental indexes chained over ordinals stay
+//     valid across delete batches.
+//
+// Entries are never physically removed (no tombstone compaction): a
+// dead tuple keeps its arena block and ordinal so it can be revived or
+// re-inserted without disturbing snapshots or indexes. Memory is
+// therefore bounded by the set of distinct tuples ever held, not the
+// current live set; callers that delete heavily rebuild from scratch
+// (the view's full-recompute fallback does exactly that).
+type CountedSetRelation struct {
+	schema *Schema
+	width  int
+	arena  tupleArena
+	views  []arenaRef
+	counts []int32
+	table  []setSlot
+	mask   uint64
+	live   int
+}
+
+// NewCountedSetRelation returns an empty counted relation over the
+// schema.
+func NewCountedSetRelation(schema *Schema) *CountedSetRelation {
+	return &CountedSetRelation{
+		schema: schema,
+		width:  schema.Arity(),
+		table:  newSlotTable(setMinTable),
+		mask:   setMinTable - 1,
+	}
+}
+
+// Schema returns the relation's typed shape.
+func (r *CountedSetRelation) Schema() *Schema { return r.schema }
+
+// Len reports the number of distinct tuples ever inserted (live or
+// dead). Ordinals range over [0, Len()).
+func (r *CountedSetRelation) Len() int { return len(r.views) }
+
+// Live reports the number of tuples with a positive count.
+func (r *CountedSetRelation) Live() int { return r.live }
+
+// ordOf locates t's ordinal, or -1 if the tuple was never inserted.
+func (r *CountedSetRelation) ordOf(h uint64, t Tuple) int {
+	slot := h & r.mask
+	for {
+		s := r.table[slot]
+		if s.idx < 0 {
+			return -1
+		}
+		if s.hash == h && r.arena.tuple(r.views[s.idx], r.width).Equal(t) {
+			return int(s.idx)
+		}
+		slot = (slot + 1) & r.mask
+	}
+}
+
+// Add increments t's count, inserting it if absent. It returns the
+// tuple's ordinal, whether the tuple is brand new (first insertion
+// ever), and whether it came back from the dead (count 0 → 1; the
+// ordinal, and any index entries chained on it, are reused).
+func (r *CountedSetRelation) Add(t Tuple) (ord int, fresh, revived bool) {
+	return r.AddHashed(t.Hash(), t)
+}
+
+// AddHashed is Add with a caller-supplied full-tuple hash.
+func (r *CountedSetRelation) AddHashed(h uint64, t Tuple) (ord int, fresh, revived bool) {
+	if i := r.ordOf(h, t); i >= 0 {
+		if r.counts[i] == 0 {
+			r.live++
+			revived = true
+		}
+		r.counts[i]++
+		return i, false, revived
+	}
+	slot := h & r.mask
+	for r.table[slot].idx >= 0 {
+		slot = (slot + 1) & r.mask
+	}
+	block, ref := r.arena.alloc(r.width)
+	copy(block, t)
+	ord = len(r.views)
+	r.table[slot] = setSlot{hash: h, idx: int32(ord)}
+	r.views = append(r.views, ref)
+	r.counts = append(r.counts, 1)
+	r.live++
+	if uint64(len(r.views))*4 > uint64(len(r.table))*3 {
+		r.grow()
+	}
+	return ord, true, false
+}
+
+// grow doubles the slot table, rehousing entries by cached hash.
+func (r *CountedSetRelation) grow() {
+	table := newSlotTable(2 * len(r.table))
+	mask := uint64(len(table) - 1)
+	for _, s := range r.table {
+		if s.idx < 0 {
+			continue
+		}
+		slot := s.hash & mask
+		for table[slot].idx >= 0 {
+			slot = (slot + 1) & mask
+		}
+		table[slot] = s
+	}
+	r.table = table
+	r.mask = mask
+}
+
+// Remove decrements t's count. It reports whether the tuple was live
+// before the call and whether this removal took it to zero.
+func (r *CountedSetRelation) Remove(t Tuple) (present, died bool) {
+	return r.RemoveHashed(t.Hash(), t)
+}
+
+// RemoveHashed is Remove with a caller-supplied hash. Removing an
+// absent or already-dead tuple is a no-op reported as !present.
+func (r *CountedSetRelation) RemoveHashed(h uint64, t Tuple) (present, died bool) {
+	i := r.ordOf(h, t)
+	if i < 0 || r.counts[i] == 0 {
+		return false, false
+	}
+	r.counts[i]--
+	if r.counts[i] == 0 {
+		r.live--
+		return true, true
+	}
+	return true, false
+}
+
+// Kill forces t's count to zero (the DRed over-delete). It reports
+// whether the tuple was live.
+func (r *CountedSetRelation) Kill(t Tuple) bool {
+	i := r.ordOf(t.Hash(), t)
+	if i < 0 || r.counts[i] == 0 {
+		return false
+	}
+	r.counts[i] = 0
+	r.live--
+	return true
+}
+
+// Revive restores a dead tuple to count 1 (the DRed re-derive). It
+// reports whether the tuple existed and was dead. The ordinal is
+// unchanged, so ordinal-chained indexes need no append.
+func (r *CountedSetRelation) Revive(t Tuple) bool {
+	i := r.ordOf(t.Hash(), t)
+	if i < 0 || r.counts[i] != 0 {
+		return false
+	}
+	r.counts[i] = 1
+	r.live++
+	return true
+}
+
+// ContainsLive reports whether t is present with a positive count.
+func (r *CountedSetRelation) ContainsLive(t Tuple) bool {
+	return r.ContainsLiveHashed(t.Hash(), t)
+}
+
+// ContainsLiveHashed is ContainsLive with a caller-supplied hash.
+func (r *CountedSetRelation) ContainsLiveHashed(h uint64, t Tuple) bool {
+	i := r.ordOf(h, t)
+	return i >= 0 && r.counts[i] > 0
+}
+
+// ContainsTuple implements the engine's membership-prober surface
+// (engine.MembershipProber): guard negations generated by the ivm
+// rewriter probe the live fixpoint through it while a delta program
+// runs. Probes are read-only, so a run may call it from every worker
+// concurrently as long as no mutation is interleaved — the view
+// serializes refreshes, and applies results only after the run.
+func (r *CountedSetRelation) ContainsTuple(t Tuple) bool {
+	return r.ContainsLiveHashed(t.Hash(), t)
+}
+
+// At returns the i-th inserted tuple (live or dead) as its stable
+// arena view.
+func (r *CountedSetRelation) At(i int) Tuple { return r.arena.tuple(r.views[i], r.width) }
+
+// CountAt returns the i-th tuple's current count.
+func (r *CountedSetRelation) CountAt(i int) int { return int(r.counts[i]) }
+
+// ForEachLive visits every live tuple in insertion order until fn
+// returns false.
+func (r *CountedSetRelation) ForEachLive(fn func(Tuple) bool) {
+	for i, ref := range r.views {
+		if r.counts[i] == 0 {
+			continue
+		}
+		if !fn(r.arena.tuple(ref, r.width)) {
+			return
+		}
+	}
+}
+
+// LiveSnapshot returns the live tuples in insertion order. Like
+// SetRelation.Snapshot, the tuples alias the arena and stay valid and
+// immutable for the relation's lifetime; the slice itself is fresh.
+func (r *CountedSetRelation) LiveSnapshot() []Tuple {
+	out := make([]Tuple, 0, r.live)
+	for i, ref := range r.views {
+		if r.counts[i] > 0 {
+			out = append(out, r.arena.tuple(ref, r.width))
+		}
+	}
+	return out
+}

@@ -1,0 +1,406 @@
+package dcdatalog
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/queries"
+	"repro/internal/storage"
+)
+
+// TestRelationReturnsCopy is the aliasing regression test: mutating the
+// slice (or the tuples) returned by Database.Relation must not corrupt
+// the stored relation.
+func TestRelationReturnsCopy(t *testing.T) {
+	db := newTCDB(t)
+	got := db.Relation("arc")
+	if len(got) != 3 {
+		t.Fatalf("arc has %d tuples", len(got))
+	}
+	got[0][0] = storage.IntVal(99)
+	got = append(got[:0], got[2:]...)
+	again := db.Relation("arc")
+	if len(again) != 3 {
+		t.Fatalf("stored relation shrank to %d tuples after caller append", len(again))
+	}
+	if again[0][0] == storage.IntVal(99) {
+		t.Fatal("caller write through Relation() corrupted stored tuple")
+	}
+	res, err := db.Query(tcProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len("tc") != 6 {
+		t.Fatalf("tc = %d rows after aliasing attempt, want 6", res.Len("tc"))
+	}
+}
+
+// TestPartialInvalidation proves single-relation mutations drop only
+// that relation's memoized indexes: after mutating one of two
+// relations, re-running a two-relation query serves the untouched
+// relation's index from cache (hits grow, misses only for the mutated
+// relation).
+func TestPartialInvalidation(t *testing.T) {
+	db := NewDatabase()
+	db.MustDeclare("arc", Col("x", Int), Col("y", Int))
+	db.MustDeclare("lbl", Col("x", Int), Col("l", Int))
+	db.MustLoad("arc", [][]any{{1, 2}, {2, 3}, {3, 4}})
+	db.MustLoad("lbl", [][]any{{2, 20}, {3, 30}, {4, 40}})
+	src := `
+		r(X, Y) :- arc(X, Y).
+		r(X, Y) :- r(X, Z), arc(Z, Y).
+		out(X, L) :- r(X, Y), lbl(Y, L).
+	`
+	if _, err := db.Query(src); err != nil {
+		t.Fatal(err)
+	}
+	warm := db.BaseStats()
+	if warm.Misses == 0 {
+		t.Fatalf("first run built no indexes: %+v", warm)
+	}
+
+	// Mutate ONLY arc; lbl's indexes must survive the rebase.
+	if err := db.Insert("arc", [][]any{{4, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(src); err != nil {
+		t.Fatal(err)
+	}
+	after := db.BaseStats()
+	if after.Hits <= warm.Hits {
+		t.Fatalf("no cache hits after single-relation mutation: %+v -> %+v", warm, after)
+	}
+	// arc changed, so at least one rebuild; but fewer than the cold run.
+	rebuilds := after.Misses - warm.Misses
+	if rebuilds == 0 {
+		t.Fatalf("mutated relation's index was not rebuilt: %+v -> %+v", warm, after)
+	}
+	if rebuilds >= warm.Misses {
+		t.Fatalf("mutation rebuilt every index (%d of %d), per-relation invalidation broken", rebuilds, warm.Misses)
+	}
+}
+
+// ivmStream describes how the differential fuzzer mutates one query's
+// EDB relations.
+type ivmStream struct {
+	q      queries.Query
+	opts   []Option
+	gen    func(rng *rand.Rand) map[string][]Tuple
+	mut    func(rng *rand.Rand, rel *storage.Schema, live []Tuple) (Tuple, bool)
+	rounds int
+}
+
+func intTuple(vals ...int64) Tuple {
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = storage.IntVal(v)
+	}
+	return t
+}
+
+// randomEdges makes n random (x, y) pairs over [0, nodes).
+func randomEdges(rng *rand.Rand, n, nodes int) []Tuple {
+	out := make([]Tuple, n)
+	for i := range out {
+		out[i] = intTuple(rng.Int63n(int64(nodes)), rng.Int63n(int64(nodes)))
+	}
+	return out
+}
+
+// sortedDecoded sorts decoded rows by their integer columns (every
+// benchmark query's output is unique on them).
+func sortedDecoded(rows [][]any) [][]any {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := range a {
+			av, aInt := a[k].(int64)
+			bv, bInt := b[k].(int64)
+			if !aInt || !bInt {
+				continue
+			}
+			if av != bv {
+				return av < bv
+			}
+		}
+		return false
+	})
+	return rows
+}
+
+func rowsEqual(a, b [][]any) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d rows vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i] {
+			switch av := a[i][j].(type) {
+			case float64:
+				bv, ok := b[i][j].(float64)
+				if !ok {
+					return fmt.Errorf("row %d col %d: type mismatch", i, j)
+				}
+				if diff := math.Abs(av - bv); diff > 1e-6*math.Max(1, math.Abs(av)) {
+					return fmt.Errorf("row %d col %d: %v vs %v", i, j, av, bv)
+				}
+			default:
+				if a[i][j] != b[i][j] {
+					return fmt.Errorf("row %d: %v vs %v", i, a[i], b[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TestViewStreamDifferential fuzzes insert/delete streams under every
+// benchmark query × strategy and checks after each refresh that the
+// maintained view equals a cold recompute of the same program over the
+// database's current relations. TC and SG exercise the incremental
+// delta pipeline; the aggregate and non-linear queries pin the
+// fallback-to-recompute path.
+func TestViewStreamDifferential(t *testing.T) {
+	defaultGen := func(edges string) func(*rand.Rand) map[string][]Tuple {
+		return func(rng *rand.Rand) map[string][]Tuple {
+			return map[string][]Tuple{edges: randomEdges(rng, 36, 18)}
+		}
+	}
+	edgeMut := func(rng *rand.Rand, sch *storage.Schema, live []Tuple) (Tuple, bool) {
+		if rng.Intn(2) == 0 && len(live) > 0 {
+			return live[rng.Intn(len(live))], true
+		}
+		t := make(Tuple, sch.Arity())
+		for i := range t {
+			t[i] = storage.IntVal(rng.Int63n(18))
+		}
+		if sch.Name == "warc" {
+			t[2] = storage.IntVal(1 + rng.Int63n(9))
+		}
+		return t, false
+	}
+
+	streams := []ivmStream{
+		{q: queries.TC(), gen: defaultGen("arc"), mut: edgeMut, rounds: 8},
+		{q: queries.SG(), gen: defaultGen("arc"), mut: edgeMut, rounds: 6},
+		{q: queries.CC(), gen: defaultGen("arc"), mut: edgeMut, rounds: 4},
+		{
+			q: queries.APSP(),
+			gen: func(rng *rand.Rand) map[string][]Tuple {
+				edges := make([]Tuple, 24)
+				for i := range edges {
+					edges[i] = intTuple(rng.Int63n(12), rng.Int63n(12), 1+rng.Int63n(9))
+				}
+				return map[string][]Tuple{"warc": edges}
+			},
+			mut: edgeMut, rounds: 4,
+		},
+		{
+			q:    queries.SSSP(),
+			opts: []Option{WithParam("start", 0)},
+			gen: func(rng *rand.Rand) map[string][]Tuple {
+				edges := make([]Tuple, 30)
+				for i := range edges {
+					edges[i] = intTuple(rng.Int63n(15), rng.Int63n(15), 1+rng.Int63n(9))
+				}
+				return map[string][]Tuple{"warc": edges}
+			},
+			mut: edgeMut, rounds: 4,
+		},
+		{
+			q:    queries.PR(),
+			opts: []Option{WithParam("alpha", 0.85), WithParam("vnum", 12)},
+			gen: func(rng *rand.Rand) map[string][]Tuple {
+				rows := make([]Tuple, 24)
+				for i := range rows {
+					rows[i] = Tuple{
+						storage.IntVal(rng.Int63n(12)), storage.IntVal(rng.Int63n(12)),
+						storage.FloatVal(2),
+					}
+				}
+				return map[string][]Tuple{"matrix": rows}
+			},
+			mut: func(rng *rand.Rand, sch *storage.Schema, live []Tuple) (Tuple, bool) {
+				if rng.Intn(2) == 0 && len(live) > 0 {
+					return live[rng.Intn(len(live))], true
+				}
+				return Tuple{
+					storage.IntVal(rng.Int63n(12)), storage.IntVal(rng.Int63n(12)),
+					storage.FloatVal(2),
+				}, false
+			},
+			rounds: 3,
+		},
+		{
+			q: queries.Attend(),
+			gen: func(rng *rand.Rand) map[string][]Tuple {
+				friends := make([]Tuple, 40)
+				for i := range friends {
+					friends[i] = intTuple(rng.Int63n(10), rng.Int63n(10))
+				}
+				return map[string][]Tuple{
+					"organizer": {intTuple(0), intTuple(1), intTuple(2)},
+					"friend":    friends,
+				}
+			},
+			mut: edgeMut, rounds: 4,
+		},
+		{
+			q: queries.Delivery(),
+			gen: func(rng *rand.Rand) map[string][]Tuple {
+				basic := make([]Tuple, 8)
+				for i := range basic {
+					basic[i] = intTuple(int64(i), 1+rng.Int63n(20))
+				}
+				assbl := make([]Tuple, 16)
+				for i := range assbl {
+					// Parts only assemble lower-numbered subparts: acyclic.
+					p := 1 + rng.Int63n(11)
+					assbl[i] = intTuple(p+4, rng.Int63n(p))
+				}
+				return map[string][]Tuple{"basic": basic, "assbl": assbl}
+			},
+			mut: func(rng *rand.Rand, sch *storage.Schema, live []Tuple) (Tuple, bool) {
+				if rng.Intn(2) == 0 && len(live) > 0 {
+					return live[rng.Intn(len(live))], true
+				}
+				if sch.Name == "basic" {
+					return intTuple(rng.Int63n(8), 1+rng.Int63n(20)), false
+				}
+				p := 1 + rng.Int63n(11)
+				return intTuple(p+4, rng.Int63n(p)), false
+			},
+			rounds: 4,
+		},
+	}
+
+	for _, s := range streams {
+		for _, strat := range []Strategy{Global, SSP, DWS} {
+			s, strat := s, strat
+			t.Run(fmt.Sprintf("%s/strat%d", s.q.Name, strat), func(t *testing.T) {
+				t.Parallel()
+				rng := rand.New(rand.NewSource(int64(7 + strat)))
+				db := NewDatabase()
+				for _, sch := range s.q.EDB {
+					if err := db.DeclareSchema(sch); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for rel, tuples := range s.gen(rng) {
+					if err := db.LoadTuples(rel, tuples); err != nil {
+						t.Fatal(err)
+					}
+				}
+				opts := append([]Option{
+					WithWorkers(3), WithStrategy(strat), WithBatchSize(8),
+					WithCrossover(0.95),
+				}, s.opts...)
+				v, err := db.Materialize("v", s.q.Source, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				incremental := false
+				for round := 0; round < s.rounds; round++ {
+					for _, sch := range s.q.EDB {
+						n := 1 + rng.Intn(3)
+						for i := 0; i < n; i++ {
+							tup, del := s.mut(rng, sch, db.Relation(sch.Name))
+							var err error
+							if del {
+								err = db.DeleteTuples(sch.Name, []Tuple{tup})
+							} else {
+								err = db.InsertTuples(sch.Name, []Tuple{tup})
+							}
+							if err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+					st, err := v.Refresh(context.Background())
+					if err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+					if st.Mode == "incremental" {
+						incremental = true
+					}
+					cold, err := db.Query(s.q.Source, opts...)
+					if err != nil {
+						t.Fatalf("round %d cold: %v", round, err)
+					}
+					got := sortedDecoded(v.Rows(s.q.Output))
+					want := sortedDecoded(cold.Rows(s.q.Output))
+					if err := rowsEqual(got, want); err != nil {
+						t.Fatalf("round %d (%s): view diverged from cold recompute: %v",
+							round, st.Mode, err)
+					}
+				}
+				if (s.q.Name == "TC" || s.q.Name == "SG") && !incremental {
+					t.Fatal("no refresh exercised the incremental path")
+				}
+				if s.q.Name != "TC" && s.q.Name != "SG" {
+					if r := v.Stats().Ineligible; r == "" {
+						t.Fatalf("%s unexpectedly eligible for incremental maintenance", s.q.Name)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestViewRefreshCancellation cancels a refresh mid-flight and checks
+// the view recovers on the next refresh without leaking goroutines.
+func TestViewRefreshCancellation(t *testing.T) {
+	db := NewDatabase()
+	db.MustDeclare("arc", Col("x", Int), Col("y", Int))
+	var edges []Tuple
+	for i := int64(0); i < 400; i++ {
+		edges = append(edges, intTuple(i, i+1))
+	}
+	if err := db.LoadTuples("arc", edges); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Materialize("tc", tcProgram, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+
+	if err := db.InsertTuples("arc", []Tuple{intTuple(401, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	if _, err := v.Refresh(ctx); err == nil {
+		t.Fatal("refresh survived an expired deadline")
+	}
+	if !v.Stats().Stale {
+		t.Fatal("view not marked stale after canceled refresh")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Fatalf("goroutine leak after canceled refresh: %d > %d", n, base)
+	}
+
+	st, err := v.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "full" {
+		t.Fatalf("recovery mode = %s, want full", st.Mode)
+	}
+	cold, err := db.Query(tcProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(v.Relation("tc")), cold.Len("tc"); got != want {
+		t.Fatalf("recovered view has %d tc rows, cold recompute %d", got, want)
+	}
+}
