@@ -40,6 +40,7 @@ func mainErr() error {
 	seed := flag.Int64("seed", 42, "generator seed")
 	weights := flag.Int64("weights", 0, "attach uniform weights in [1,w]")
 	undirect := flag.Bool("undirect", false, "emit both edge directions")
+	source := flag.Bool("source", false, "also print the graph's hub vertex (highest out-degree), the deterministic source for bound point queries")
 	updates := flag.Int("updates", 0, "also emit an insert/delete stream of this many ops as <out>.updates")
 	insFrac := flag.Float64("insfrac", 0.5, "insertion fraction of the update stream")
 	out := flag.String("o", "", "output file (required)")
@@ -109,6 +110,9 @@ func mainErr() error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d rows)\n", *out, len(tuples))
+	if *source {
+		fmt.Printf("source %d\n", datasets.HubVertex(edges))
+	}
 
 	if *updates > 0 {
 		if *weights > 0 {

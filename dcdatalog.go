@@ -41,6 +41,7 @@ import (
 	"repro/internal/pcg"
 	"repro/internal/physical"
 	"repro/internal/plan"
+	"repro/internal/rewrite"
 	"repro/internal/storage"
 )
 
@@ -468,6 +469,10 @@ type config struct {
 	params    map[string]physical.Param
 	broadcast bool
 	crossover float64
+	noDemand  bool
+	// demand records the outcome of the demand (magic-set) rewrite
+	// compile ran — applied, or declined with reasons.
+	demand *rewrite.Result
 }
 
 // Option configures one query execution.
@@ -582,6 +587,15 @@ func WithCrossover(x float64) Option {
 	return func(c *config, _ *Database) error { c.crossover = x; return nil }
 }
 
+// WithoutDemandRewrite disables the demand (magic-set) rewrite for
+// this compilation: bound queries then evaluate the full fixpoint and
+// filter afterwards, as before the rewrite existed (ablation and A/B
+// benchmarking). Like WithParam, it is a compile-time option, fixed at
+// Prepare.
+func WithoutDemandRewrite() Option {
+	return func(c *config, _ *Database) error { c.noDemand = true; return nil }
+}
+
 // WithParam binds a $parameter (int, int64, float64 or string).
 func WithParam(name string, value any) Option {
 	return func(c *config, db *Database) error {
@@ -617,6 +631,26 @@ type Result struct {
 	db       *Database
 	analysis *pcg.Analysis
 	res      *engine.Result
+	// demandRewritten mirrors Prepared.DemandRewritten for results
+	// obtained through Query.
+	demandRewritten bool
+	// demandEst/demandActual pair the cost model's estimated base
+	// derivations with the engine's actual counts (see
+	// demandCardinalities).
+	demandEst    int64
+	demandActual int64
+}
+
+// DemandRewritten reports whether the executed program had the demand
+// (magic-set) rewrite applied.
+func (r *Result) DemandRewritten() bool { return r.demandRewritten }
+
+// DemandCardinalities returns the planner's estimated base-rule
+// derivations and the engine's matching actual derived-tuple count,
+// summed over the strata where the cost model had statistics. Both are
+// zero when no stratum was estimable.
+func (r *Result) DemandCardinalities() (est, actual int64) {
+	return r.demandEst, r.demandActual
 }
 
 // Relation returns the raw tuples of a derived relation.
@@ -675,7 +709,26 @@ func (db *Database) compile(src string, opts []Option) (*physical.Program, *pcg.
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	var bopts []plan.BuildOption
+	// Demand rewrite: when the program's recursive predicates are only
+	// consumed through constant/$param-bound occurrences, guard the
+	// recursion with magic predicates seeded from the bound values. The
+	// rewritten program is plain Datalog and re-analyzes through pcg;
+	// if that unexpectedly fails, fall back to the original program
+	// rather than failing the query.
+	if !c.noDemand {
+		c.demand = rewrite.Apply(analysis)
+		if c.demand.Rewritten() {
+			ra, rerr := pcg.Analyze(c.demand.Program, db.schemas, paramTypes)
+			if rerr != nil {
+				c.demand.Program = nil
+				c.demand.Declined = append(c.demand.Declined,
+					fmt.Sprintf("rewritten program failed analysis: %v", rerr))
+			} else {
+				analysis = ra
+			}
+		}
+	}
+	bopts := []plan.BuildOption{plan.WithStats(db.sharedBase())}
 	if c.broadcast {
 		bopts = append(bopts, plan.WithForceBroadcast())
 	}
@@ -704,6 +757,32 @@ type Prepared struct {
 	opts      engine.Options
 	params    map[string]physical.Param
 	broadcast bool
+	noDemand  bool
+	demand    *rewrite.Result
+}
+
+// DemandRewritten reports whether Prepare applied the demand
+// (magic-set) rewrite: the program's recursive cliques are guarded by
+// generated magic predicates and derive only the demanded subset.
+// Restricted relations (see DemandInfo) then hold that subset rather
+// than the full fixpoint.
+func (p *Prepared) DemandRewritten() bool {
+	return p.demand != nil && p.demand.Rewritten()
+}
+
+// DemandInfo describes the demand rewrite's outcome: the generated
+// magic predicates, the predicates whose extent is restricted to the
+// demanded subset, and the per-clique reasons the rewrite was declined
+// (all empty when compiled with WithoutDemandRewrite).
+func (p *Prepared) DemandInfo() (magic, restricted, declined []string) {
+	if p.demand == nil {
+		return nil, nil, nil
+	}
+	for r := range p.demand.Restricted {
+		restricted = append(restricted, r)
+	}
+	sort.Strings(restricted)
+	return p.demand.Magic, restricted, p.demand.Declined
 }
 
 // Prepare compiles a program once for repeated execution. The returned
@@ -724,6 +803,8 @@ func (db *Database) Prepare(src string, opts ...Option) (*Prepared, error) {
 		opts:      c.opts,
 		params:    c.params,
 		broadcast: c.broadcast,
+		noDemand:  c.noDemand,
+		demand:    c.demand,
 	}, nil
 }
 
@@ -735,21 +816,39 @@ func (db *Database) Prepare(src string, opts ...Option) (*Prepared, error) {
 // matching ErrBudgetExceeded; on context cancellation it returns a nil
 // Result and an error matching ctx.Err().
 func (p *Prepared) Exec(ctx context.Context, opts ...Option) (*Result, error) {
-	c := &config{opts: p.opts, params: maps.Clone(p.params), broadcast: p.broadcast}
+	c := &config{opts: p.opts, params: maps.Clone(p.params), broadcast: p.broadcast, noDemand: p.noDemand}
 	for _, o := range opts {
 		if err := o(c, p.db); err != nil {
 			return nil, err
 		}
 	}
-	if c.broadcast != p.broadcast || !paramsEqual(c.params, p.params) {
-		return nil, fmt.Errorf("dcdatalog: parameters and replication are fixed at Prepare; re-prepare to change them")
+	if c.broadcast != p.broadcast || c.noDemand != p.noDemand || !paramsEqual(c.params, p.params) {
+		return nil, fmt.Errorf("dcdatalog: parameters, replication and the demand rewrite are fixed at Prepare; re-prepare to change them")
 	}
 	c.opts.Base = p.db.sharedBase()
 	res, err := engine.RunContext(ctx, p.phys, p.db.snapshotData(), c.opts)
 	if res == nil {
 		return nil, err
 	}
-	return &Result{db: p.db, analysis: p.analysis, res: res}, err
+	r := &Result{db: p.db, analysis: p.analysis, res: res, demandRewritten: p.DemandRewritten()}
+	r.demandEst, r.demandActual = demandCardinalities(p.phys.Plan, res.Stats)
+	return r, err
+}
+
+// demandCardinalities pairs the planner's estimated base derivations
+// with the engine's actual derived-tuple counts, summed over the
+// non-recursive strata where the cost model produced an estimate (the
+// engine's per-stratum counter includes recursive derivations, so
+// recursive strata are not comparable).
+func demandCardinalities(lp *plan.Plan, stats engine.Stats) (est, actual int64) {
+	for i, sp := range lp.Strata {
+		if sp.EstBaseDerived < 0 || sp.Stratum.Recursive || i >= len(stats.Strata) {
+			continue
+		}
+		est += sp.EstBaseDerived
+		actual += stats.Strata[i].TuplesDerived
+	}
+	return est, actual
 }
 
 func paramsEqual(a, b map[string]physical.Param) bool {
@@ -931,11 +1030,18 @@ func (v *View) Rows(pred string) [][]any {
 // Explain returns the logical plan and AND/OR tree of a program
 // without executing it.
 func (db *Database) Explain(src string, opts ...Option) (string, error) {
-	phys, analysis, _, err := db.compile(src, opts)
+	phys, analysis, c, err := db.compile(src, opts)
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
+	if c.demand != nil {
+		if c.demand.Rewritten() {
+			fmt.Fprintf(&b, "demand rewrite: magic predicates %s\n", strings.Join(c.demand.Magic, ", "))
+		} else if len(c.demand.Declined) > 0 {
+			fmt.Fprintf(&b, "demand rewrite declined: %s\n", strings.Join(c.demand.Declined, "; "))
+		}
+	}
 	b.WriteString(phys.Plan.Explain())
 	for _, s := range analysis.Strata {
 		for _, p := range s.Preds {

@@ -77,6 +77,12 @@ type measurement struct {
 	steal   engine.StealStats     // morsel-scheduler activity
 	// imbalance is max/mean per-worker busy time (1.0 = balanced).
 	imbalance float64
+	// demandRewritten reports whether the demand (magic-set) rewrite
+	// applied; demandEst/demandActual are the planner's estimated vs
+	// the engine's actual derivation counts where estimable.
+	demandRewritten bool
+	demandEst       int64
+	demandActual    int64
 }
 
 // run executes one query configuration against a fresh database.
@@ -97,14 +103,17 @@ func run(ds dataset, src, output string, opts ...dcdatalog.Option) measurement {
 		return measurement{note: "ERR: " + err.Error()}
 	}
 	stats := res.Stats()
-	return measurement{
-		seconds:   elapsed,
-		setupNS:   stats.SetupDuration.Nanoseconds(),
-		tuples:    res.Len(output),
-		probe:     stats.Probe,
-		steal:     stats.Steal,
-		imbalance: stats.Imbalance(),
+	m := measurement{
+		seconds:         elapsed,
+		setupNS:         stats.SetupDuration.Nanoseconds(),
+		tuples:          res.Len(output),
+		probe:           stats.Probe,
+		steal:           stats.Steal,
+		imbalance:       stats.Imbalance(),
+		demandRewritten: res.DemandRewritten(),
 	}
+	m.demandEst, m.demandActual = res.DemandCardinalities()
+	return m
 }
 
 // engineSpec is one column of the comparison tables.

@@ -48,6 +48,13 @@ type BenchPoint struct {
 	// delta-kernel output for the "TC-IVM" sweep cells; zero elsewhere.
 	IvmRefreshNS   int64 `json:"ivm_refresh_ns,omitempty"`
 	IvmDeltaTuples int   `json:"ivm_delta_tuples,omitempty"`
+	// Demand counters (PR10): whether the magic-set rewrite fired for
+	// this cell (0/1, always emitted so the smoke check can assert the
+	// field exists) and the planner's estimated vs the engine's actual
+	// derivation counts for the estimable strata.
+	DemandRewritten    int   `json:"demand_rewritten"`
+	DemandEstTuples    int64 `json:"demand_est_tuples,omitempty"`
+	DemandActualTuples int64 `json:"demand_actual_tuples,omitempty"`
 }
 
 // trackJob is one query × dataset cell of the fixed tracking suite.
@@ -85,6 +92,22 @@ func trackingJobs(cfg Config) []trackJob {
 	// no-regression control.
 	hubEdges := datasets.Undirect(datasets.Hub(cfg.scaled(4000), int(cfg.scaled(24000)), 1.3, cfg.Seed))
 	jobs = append(jobs, trackJob{queries.CC(), "hub-4k", dataset{load: loadArcs(hubEdges)}})
+
+	// Bound point-query cells (PR10): single-source variants whose
+	// consumer rule binds the recursion to a parameter, so the demand
+	// rewrite can seed the fixpoint instead of computing the full
+	// closure. The source is the graph's hub vertex — deterministic in
+	// the seed, and the worst case for the unrewritten program.
+	jobs = append(jobs, trackJob{queries.BoundTC(), "rmat-512", dataset{
+		load: loadArcs(tcEdges),
+		opts: []dcdatalog.Option{dcdatalog.WithParam("src", datasets.HubVertex(tcEdges))},
+	}})
+	// The SG source is the root's first child, not the hub: the tree's
+	// hub is the root, which has no same-generation peers.
+	jobs = append(jobs, trackJob{queries.BoundSG(), "tree-6", dataset{
+		load: loadArcs(sgEdges),
+		opts: []dcdatalog.Option{dcdatalog.WithParam("v", sgEdges[0].Dst)},
+	}})
 
 	return jobs
 }
@@ -133,6 +156,9 @@ func Trajectory(cfg Config) []BenchPoint {
 				StealAttempts:      m.steal.Attempts,
 				StealFailures:      m.steal.Failures,
 				Imbalance:          m.imbalance,
+				DemandRewritten:    boolInt(m.demandRewritten),
+				DemandEstTuples:    m.demandEst,
+				DemandActualTuples: m.demandActual,
 			})
 		}
 	}
@@ -140,6 +166,13 @@ func Trajectory(cfg Config) []BenchPoint {
 	// TC tracking cell across delta sizes.
 	points = append(points, ivmPoints(cfg)...)
 	return points
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // WriteTrajectoryJSON renders the points as indented JSON.

@@ -39,6 +39,24 @@ func WEdgeTuples(edges []WEdge) []storage.Tuple {
 	return out
 }
 
+// HubVertex returns the vertex with the highest out-degree (smallest
+// id on ties): the deterministic bound-query source the tracking
+// benchmarks and datagen use, chosen so a single-source query still
+// touches a meaningful share of the graph.
+func HubVertex(edges []Edge) int64 {
+	deg := make(map[int64]int)
+	for _, e := range edges {
+		deg[e.Src]++
+	}
+	best, bestDeg := int64(0), -1
+	for v, d := range deg {
+		if d > bestDeg || (d == bestDeg && v < best) {
+			best, bestDeg = v, d
+		}
+	}
+	return best
+}
+
 // Undirect doubles every edge into both directions.
 func Undirect(edges []Edge) []Edge {
 	out := make([]Edge, 0, 2*len(edges))

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -27,8 +28,9 @@ type PreparedBase struct {
 	schemas map[string]*storage.Schema
 	tuples  map[string][]storage.Tuple
 
-	mu      sync.Mutex
-	indexes map[baseIdxKey]*baseIdxEntry
+	mu       sync.Mutex
+	indexes  map[baseIdxKey]*baseIdxEntry
+	relStats map[string]*relStatsEntry
 
 	// parent/aliases implement Derive: an aliased name delegates
 	// tuples and index requests to the parent under its canonical
@@ -55,6 +57,15 @@ type baseIdxEntry struct {
 	idx  *storage.HashIndex
 }
 
+// relStatsEntry is the singleflight cell for one relation's planner
+// statistics: the first claimer estimates inside the once, everyone
+// else blocks on it and reads the settled values.
+type relStatsEntry struct {
+	once     sync.Once
+	rows     int
+	distinct []int
+}
+
 // colSig canonicalizes a lookup column set ("0,2").
 func colSig(cols []int) string {
 	b := make([]byte, 0, 2*len(cols))
@@ -77,10 +88,44 @@ func NewPreparedBase(schemas map[string]*storage.Schema, edb map[string][]storag
 		t[name] = tuples
 	}
 	return &PreparedBase{
-		schemas: schemas,
-		tuples:  t,
-		indexes: make(map[baseIdxKey]*baseIdxEntry),
+		schemas:  schemas,
+		tuples:   t,
+		indexes:  make(map[baseIdxKey]*baseIdxEntry),
+		relStats: make(map[string]*relStatsEntry),
 	}
+}
+
+// RelStats returns planner statistics for one base relation: its row
+// count and an estimated distinct-value count per column (see
+// storage.ColumnDistincts). Stats are computed at most once per
+// relation across all concurrent callers and survive Rebase for
+// unchanged relations, so the cost-based join ordering in plan reads
+// them as cached pointer loads after the first Prepare. ok is false
+// when the snapshot does not cover the relation — the planner then
+// falls back to its static heuristic for that atom.
+func (b *PreparedBase) RelStats(name string) (rows int, distinct []int, ok bool) {
+	if target, aliased := b.aliases[name]; aliased {
+		return b.parent.RelStats(target)
+	}
+	tuples, covered := b.tuples[name]
+	if !covered {
+		return 0, nil, false
+	}
+	b.mu.Lock()
+	if b.relStats == nil {
+		b.relStats = make(map[string]*relStatsEntry)
+	}
+	e, cached := b.relStats[name]
+	if !cached {
+		e = &relStatsEntry{}
+		b.relStats[name] = e
+	}
+	b.mu.Unlock()
+	e.once.Do(func() {
+		e.rows = len(tuples)
+		e.distinct = storage.ColumnDistincts(tuples, runtime.GOMAXPROCS(0))
+	})
+	return e.rows, e.distinct, true
 }
 
 // Has reports whether the base snapshot covers the relation.
@@ -159,6 +204,15 @@ func (b *PreparedBase) Rebase(schemas map[string]*storage.Schema, edb map[string
 			continue
 		}
 		nb.indexes[key] = e
+	}
+	for name, e := range b.relStats {
+		if changed[name] {
+			continue
+		}
+		if _, ok := nb.tuples[name]; !ok {
+			continue
+		}
+		nb.relStats[name] = e
 	}
 	b.mu.Unlock()
 	nb.hits.Store(b.hits.Load())

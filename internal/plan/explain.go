@@ -2,6 +2,8 @@ package plan
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 )
 
@@ -21,7 +23,11 @@ func (p *Plan) Explain() string {
 		case sp.Stratum.Recursive:
 			kind = "recursive"
 		}
-		fmt.Fprintf(&b, "stratum %d (%s): %s\n", i, kind, strings.Join(sp.Stratum.Preds, ", "))
+		est := ""
+		if sp.EstBaseDerived >= 0 {
+			est = fmt.Sprintf(" est~%d base derivations", sp.EstBaseDerived)
+		}
+		fmt.Fprintf(&b, "stratum %d (%s): %s%s\n", i, kind, strings.Join(sp.Stratum.Preds, ", "), est)
 		for _, name := range sp.Stratum.Preds {
 			pp := sp.Preds[name]
 			mode := "partitioned"
@@ -50,13 +56,20 @@ func (rp *RulePlan) explain(tag string, indent int) string {
 	}
 	pad2 := pad + "  "
 	for i, e := range rp.Elems {
+		// est renders the cost model's cardinality estimate when stats
+		// were attached: scan rows for the outer, matches per probe for
+		// an inner join.
+		est := ""
+		if e.EstFanout >= 0 {
+			est = fmt.Sprintf(" est~%s", formatEst(e.EstFanout))
+		}
 		switch e.Kind {
 		case ElemAtom:
 			switch {
 			case i == 0 && rp.OuterDelta:
 				fmt.Fprintf(&b, "%sscan δ%s\n", pad2, e.Atom.Pred)
 			case i == 0:
-				fmt.Fprintf(&b, "%sscan %s\n", pad2, e.Atom.Pred)
+				fmt.Fprintf(&b, "%sscan %s%s\n", pad2, e.Atom.Pred, est)
 			default:
 				src := e.Atom.Pred
 				if e.Recursive {
@@ -66,7 +79,7 @@ func (rp *RulePlan) explain(tag string, indent int) string {
 						src += " (R)"
 					}
 				}
-				fmt.Fprintf(&b, "%s%s %s on cols %v\n", pad2, e.Method, src, e.BoundCols)
+				fmt.Fprintf(&b, "%s%s %s on cols %v%s\n", pad2, e.Method, src, e.BoundCols, est)
 			}
 		case ElemNeg:
 			fmt.Fprintf(&b, "%santi-join %s on cols %v\n", pad2, e.Atom.Pred, e.BoundCols)
@@ -78,4 +91,13 @@ func (rp *RulePlan) explain(tag string, indent int) string {
 	}
 	fmt.Fprintf(&b, "%sproject → %s; distribute+gather\n", pad2, rp.Rule.Head)
 	return b.String()
+}
+
+// formatEst renders a cardinality estimate compactly: whole numbers
+// bare, fractional fan-outs with enough digits to compare.
+func formatEst(f float64) string {
+	if f == math.Trunc(f) && f < 1e15 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', 3, 64)
 }

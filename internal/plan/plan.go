@@ -79,6 +79,13 @@ type Elem struct {
 	LetVar string
 	// LetExpr is the bound expression of an ElemLet.
 	LetExpr ast.Expr
+	// EstFanout is the cost model's cardinality estimate for this
+	// element when statistics were attached (WithStats) and cover the
+	// atom's relation: estimated scan rows for the outer, estimated
+	// matching rows per probe for an inner join. -1 means no estimate
+	// (no stats, or the relation — e.g. an IDB predicate — is not in
+	// the base snapshot).
+	EstFanout float64
 }
 
 // RulePlan is the ordered pipeline for one rule, or for one delta
@@ -127,6 +134,13 @@ type StratumPlan struct {
 	BaseRules []*RulePlan
 	// RecRules are the delta variants of the recursive rules.
 	RecRules []*RulePlan
+	// EstBaseDerived is the cost model's estimate of how many tuples
+	// the stratum's base rules derive (pre-dedup, so comparable to
+	// StratumStats.TuplesDerived for non-recursive strata): the sum
+	// over base rules of outer rows × the product of inner fan-outs.
+	// -1 when no statistics were attached or any base rule's outer
+	// relation is outside the base snapshot.
+	EstBaseDerived int64
 }
 
 // Plan is the logical plan of a whole program.
@@ -135,11 +149,34 @@ type Plan struct {
 	Strata   []*StratumPlan
 }
 
+// StatsProvider supplies base-relation statistics to the cost-based
+// join ordering: row count plus an estimated distinct-value count per
+// column. ok is false for relations outside the provider's snapshot
+// (IDB predicates, magic predicates), for which the planner falls back
+// to a fixed prior. engine.PreparedBase satisfies this structurally;
+// the indirection keeps plan free of an engine import (engine already
+// imports physical, which imports plan).
+type StatsProvider interface {
+	RelStats(name string) (rows int, distinct []int, ok bool)
+}
+
 // BuildOption tweaks planning.
 type BuildOption func(*buildConfig)
 
 type buildConfig struct {
 	forceBroadcast bool
+	stats          StatsProvider
+}
+
+// WithStats attaches base-relation statistics: inner atoms are then
+// ordered by estimated probe fan-out (rows over the product of the
+// bound columns' distinct counts, clamped at rows) instead of the
+// static greediest-bound-columns heuristic, and the plan carries
+// cardinality estimates for EXPLAIN and the served est-vs-actual
+// counters. The paper's recursive-atom-outermost invariant is kept
+// either way. A nil provider is identical to omitting the option.
+func WithStats(sp StatsProvider) BuildOption {
+	return func(c *buildConfig) { c.stats = sp }
 }
 
 // WithForceBroadcast makes every recursive predicate use broadcast
@@ -183,7 +220,7 @@ func buildStratum(a *pcg.Analysis, s *pcg.Stratum, cfg *buildConfig) (*StratumPl
 	for _, r := range s.Rules {
 		info := a.RuleInfoFor(s, r)
 		if len(info.RecursiveAtoms) == 0 || !s.Recursive {
-			rp, err := orderRule(r, -1, inStratum)
+			rp, err := orderRule(r, -1, inStratum, cfg.stats)
 			if err != nil {
 				return nil, err
 			}
@@ -191,7 +228,7 @@ func buildStratum(a *pcg.Analysis, s *pcg.Stratum, cfg *buildConfig) (*StratumPl
 			continue
 		}
 		for v := range info.RecursiveAtoms {
-			rp, err := orderRule(r, v, inStratum)
+			rp, err := orderRule(r, v, inStratum, cfg.stats)
 			if err != nil {
 				return nil, err
 			}
@@ -202,13 +239,47 @@ func buildStratum(a *pcg.Analysis, s *pcg.Stratum, cfg *buildConfig) (*StratumPl
 	if err := derivePaths(sp, cfg.forceBroadcast); err != nil {
 		return nil, err
 	}
+	sp.EstBaseDerived = estimateBaseDerived(sp, cfg.stats)
 	return sp, nil
+}
+
+// estimateBaseDerived applies the independence-assumption product over
+// every base rule: outer rows times each inner join's fan-out. The
+// result is comparable to the engine's pre-dedup TuplesDerived counter.
+// It returns -1 (unknown) without stats, or when any base rule's
+// pipeline contains an atom the stats don't cover — a partial sum would
+// read as an underestimate rather than an unknown.
+func estimateBaseDerived(sp *StratumPlan, stats StatsProvider) int64 {
+	if stats == nil {
+		return -1
+	}
+	total := 0.0
+	for _, rp := range sp.BaseRules {
+		est := 1.0 // a fact/condition-only rule derives one binding
+		for _, e := range rp.Elems {
+			if e.Kind != ElemAtom {
+				continue
+			}
+			if e.EstFanout < 0 {
+				return -1
+			}
+			est *= e.EstFanout
+		}
+		total += est
+	}
+	const maxEst = float64(1 << 62)
+	if total > maxEst {
+		total = maxEst
+	}
+	return int64(total)
 }
 
 // orderRule builds the pipeline for rule r. For variant ≥ 0, the
 // variant-th recursive body atom becomes the delta-driven outer; for
-// variant -1 the first body atom in program order is the outer.
-func orderRule(r *ast.Rule, variant int, inStratum map[string]bool) (*RulePlan, error) {
+// variant -1 the first body atom in program order is the outer. With
+// stats attached, inner atoms are ordered by estimated probe fan-out;
+// without, by the static greediest-bound-columns heuristic.
+func orderRule(r *ast.Rule, variant int, inStratum map[string]bool, stats StatsProvider) (*RulePlan, error) {
 	rp := &RulePlan{Rule: r, Variant: variant, InnerFull: make(map[int]bool)}
 
 	type pending struct {
@@ -251,6 +322,33 @@ func orderRule(r *ast.Rule, variant int, inStratum map[string]bool) (*RulePlan, 
 		return cols
 	}
 
+	// estFanout is the cost model: expected matching rows per probe of
+	// atom on cols, assuming column independence — rows over the product
+	// of the bound columns' distinct counts, clamped to [1/rows-exact,
+	// rows]. -1 when the relation is outside the stats snapshot.
+	estFanout := func(atom *ast.Atom, cols []int) float64 {
+		if stats == nil {
+			return -1
+		}
+		rows, distinct, ok := stats.RelStats(atom.Pred)
+		if !ok {
+			return -1
+		}
+		if rows == 0 {
+			return 0
+		}
+		keys := 1.0
+		for _, c := range cols {
+			if c < len(distinct) && distinct[c] > 1 {
+				keys *= float64(distinct[c])
+			}
+		}
+		if keys > float64(rows) {
+			keys = float64(rows)
+		}
+		return float64(rows) / keys
+	}
+
 	// Choose and emit the outer.
 	var outer *pending
 	if variant >= 0 {
@@ -276,6 +374,7 @@ func orderRule(r *ast.Rule, variant int, inStratum map[string]bool) (*RulePlan, 
 			Kind:      ElemAtom,
 			Atom:      atom,
 			Recursive: inStratum[atom.Pred],
+			EstFanout: estFanout(atom, nil), // outer: estimated scan rows
 		})
 		bindAtomVars(atom)
 	}
@@ -295,18 +394,18 @@ func orderRule(r *ast.Rule, variant int, inStratum map[string]bool) (*RulePlan, 
 					switch {
 					case lb && rb:
 						it.consumed, changed = true, true
-						rp.Elems = append(rp.Elems, &Elem{Kind: ElemCond, Cond: x})
+						rp.Elems = append(rp.Elems, &Elem{Kind: ElemCond, Cond: x, EstFanout: -1})
 					case x.Op == ast.Eq && !lb && rb:
 						if v, ok := x.L.(*ast.Var); ok {
 							it.consumed, changed = true, true
 							bound[v.Name] = true
-							rp.Elems = append(rp.Elems, &Elem{Kind: ElemLet, Cond: x, LetVar: v.Name, LetExpr: x.R})
+							rp.Elems = append(rp.Elems, &Elem{Kind: ElemLet, Cond: x, LetVar: v.Name, LetExpr: x.R, EstFanout: -1})
 						}
 					case x.Op == ast.Eq && lb && !rb:
 						if v, ok := x.R.(*ast.Var); ok {
 							it.consumed, changed = true, true
 							bound[v.Name] = true
-							rp.Elems = append(rp.Elems, &Elem{Kind: ElemLet, Cond: x, LetVar: v.Name, LetExpr: x.L})
+							rp.Elems = append(rp.Elems, &Elem{Kind: ElemLet, Cond: x, LetVar: v.Name, LetExpr: x.L, EstFanout: -1})
 						}
 					}
 				case *ast.Negation:
@@ -319,18 +418,32 @@ func orderRule(r *ast.Rule, variant int, inStratum map[string]bool) (*RulePlan, 
 					}
 					if all {
 						it.consumed, changed = true, true
-						rp.Elems = append(rp.Elems, &Elem{Kind: ElemNeg, Atom: x.Atom, BoundCols: boundColsOf(x.Atom)})
+						rp.Elems = append(rp.Elems, &Elem{Kind: ElemNeg, Atom: x.Atom, BoundCols: boundColsOf(x.Atom), EstFanout: -1})
 					}
 				}
 			}
 		}
 	}
 
+	// priorFanout reproduces the static heuristic's preferences on the
+	// cost scale for relations without stats (IDB predicates, or no
+	// provider): a fixed row prior shrunk by a fixed selectivity per
+	// bound column, so more bound columns still probe first.
+	const (
+		priorRows   = float64(1 << 20)
+		priorColSel = 4.0
+	)
+
 	flushConds()
 	for {
-		// Pick the unconsumed atom with the most bound columns.
+		// Pick the cheapest unconsumed atom: smallest estimated probe
+		// fan-out when stats cover it, the bound-column prior otherwise.
+		// Ties prefer base tables (their indexes are free), then program
+		// order. Without stats every atom uses the prior, which orders
+		// identically to the original greediest-bound-columns heuristic.
 		var best *pending
-		bestScore := -1
+		bestCost := 0.0
+		bestBase := false
 		for _, it := range items {
 			if it.consumed {
 				continue
@@ -339,12 +452,16 @@ func orderRule(r *ast.Rule, variant int, inStratum map[string]bool) (*RulePlan, 
 			if !ok {
 				continue
 			}
-			score := len(boundColsOf(atom)) * 4
-			if !inStratum[atom.Pred] {
-				score++ // prefer base tables on ties: their indexes are free
+			cost := estFanout(atom, boundColsOf(atom))
+			if cost < 0 {
+				cost = priorRows
+				for range boundColsOf(atom) {
+					cost /= priorColSel
+				}
 			}
-			if score > bestScore {
-				best, bestScore = it, score
+			isBase := !inStratum[atom.Pred]
+			if best == nil || cost < bestCost || (cost == bestCost && isBase && !bestBase) {
+				best, bestCost, bestBase = it, cost, isBase
 			}
 		}
 		if best == nil {
@@ -358,6 +475,7 @@ func orderRule(r *ast.Rule, variant int, inStratum map[string]bool) (*RulePlan, 
 			Recursive: inStratum[atom.Pred],
 			BoundCols: boundColsOf(atom),
 		}
+		elem.EstFanout = estFanout(atom, elem.BoundCols)
 		elem.Method = chooseMethod(r, atom, elem.BoundCols, inStratum)
 		if elem.Recursive && variant >= 0 && best.recIdx < variant {
 			// Semi-naive expansion: occurrences before the delta

@@ -170,3 +170,38 @@ func Delivery() Query {
 func All() []Query {
 	return []Query{TC(), CC(), APSP(), Attend(), SG(), PR(), SSSP(), Delivery()}
 }
+
+// BoundTC is the bound point-query variant of TC: vertices reachable
+// from the single source $src. The consumer rule binds tc's first
+// column to the parameter, which is exactly the shape the demand
+// (magic-set) rewrite turns into a seeded recursion — the unrewritten
+// program derives the full closure and filters afterwards.
+func BoundTC() Query {
+	return Query{
+		Name:   "TC-bound",
+		Output: "reach",
+		EDB:    []*storage.Schema{Arc()},
+		Params: []string{"src"},
+		Source: `
+			tc(X, Y) :- arc(X, Y).
+			tc(X, Y) :- tc(X, Z), arc(Z, Y).
+			reach(Y) :- tc($src, Y).
+		`,
+	}
+}
+
+// BoundSG is the bound point-query variant of SG: the same-generation
+// peers of the single vertex $v.
+func BoundSG() Query {
+	return Query{
+		Name:   "SG-bound",
+		Output: "peer",
+		EDB:    []*storage.Schema{Arc()},
+		Params: []string{"v"},
+		Source: `
+			sg(X, Y) :- arc(P, X), arc(P, Y), X != Y.
+			sg(X, Y) :- arc(A, X), sg(A, B), arc(B, Y).
+			peer(Y) :- sg($v, Y).
+		`,
+	}
+}

@@ -1,0 +1,206 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/pcg"
+	"repro/internal/storage"
+)
+
+func arcSchemas() map[string]*storage.Schema {
+	arc := storage.NewSchema("arc",
+		storage.Column{Name: "x", Type: storage.TInt},
+		storage.Column{Name: "y", Type: storage.TInt})
+	return map[string]*storage.Schema{"arc": arc}
+}
+
+func analyze(t *testing.T, src string, params map[string]storage.Type) *pcg.Analysis {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	a, err := pcg.Analyze(prog, arcSchemas(), params)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return a
+}
+
+// reanalyze asserts the rewritten program is well-formed Datalog by
+// pushing it back through the analyzer, as the compile pipeline does.
+func reanalyze(t *testing.T, r *Result, params map[string]storage.Type) *pcg.Analysis {
+	t.Helper()
+	a, err := pcg.Analyze(r.Program, arcSchemas(), params)
+	if err != nil {
+		t.Fatalf("rewritten program failed analysis: %v\n%s", err, progText(r))
+	}
+	return a
+}
+
+func progText(r *Result) string {
+	var b strings.Builder
+	for _, rule := range r.Program.Rules {
+		b.WriteString(rule.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+var intParam = map[string]storage.Type{"src": storage.TInt}
+
+const leftLinearBoundTC = `
+	tc(X, Y) :- arc(X, Y).
+	tc(X, Y) :- tc(X, Z), arc(Z, Y).
+	reach(Y) :- tc($src, Y).
+`
+
+func TestApplyLeftLinearBoundTC(t *testing.T) {
+	r := Apply(analyze(t, leftLinearBoundTC, intParam))
+	if !r.Rewritten() {
+		t.Fatalf("not rewritten; declined: %v", r.Declined)
+	}
+	if len(r.Magic) != 1 || r.Magic[0] != "tc__magic" {
+		t.Fatalf("Magic = %v, want [tc__magic]", r.Magic)
+	}
+	if !r.Restricted["tc"] {
+		t.Fatalf("Restricted = %v, want tc", r.Restricted)
+	}
+	text := progText(r)
+	// The seed rule carries the demand constant, and every recursive
+	// rule is guarded by the magic predicate.
+	if !strings.Contains(text, "$src") || !strings.Contains(text, "tc__magic") {
+		t.Fatalf("rewritten program lacks seed or guard:\n%s", text)
+	}
+	reanalyze(t, r, intParam)
+}
+
+func TestApplyRightLinearAndNonLinearTC(t *testing.T) {
+	for name, src := range map[string]string{
+		"right-linear": `
+			tc(X, Y) :- arc(X, Y).
+			tc(X, Y) :- arc(X, Z), tc(Z, Y).
+			reach(Y) :- tc($src, Y).
+		`,
+		"non-linear": `
+			tc(X, Y) :- arc(X, Y).
+			tc(X, Y) :- tc(X, Z), tc(Z, Y).
+			reach(Y) :- tc($src, Y).
+		`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			r := Apply(analyze(t, src, intParam))
+			if !r.Rewritten() {
+				t.Fatalf("not rewritten; declined: %v", r.Declined)
+			}
+			reanalyze(t, r, intParam)
+		})
+	}
+}
+
+func TestApplyBoundSG(t *testing.T) {
+	src := `
+		sg(X, Y) :- arc(P, X), arc(P, Y), X != Y.
+		sg(X, Y) :- arc(A, X), sg(A, B), arc(B, Y).
+		peer(Y) :- sg($src, Y).
+	`
+	r := Apply(analyze(t, src, intParam))
+	if !r.Rewritten() {
+		t.Fatalf("not rewritten; declined: %v", r.Declined)
+	}
+	if !r.Restricted["sg"] {
+		t.Fatalf("Restricted = %v, want sg", r.Restricted)
+	}
+	reanalyze(t, r, intParam)
+}
+
+func TestApplyNegatedExternalSite(t *testing.T) {
+	// The negated occurrence binds the same σ column as the positive
+	// one, so the demanded group is fully derived and the anti-join
+	// stays exact: the rewrite may proceed.
+	src := `
+		tc(X, Y) :- arc(X, Y).
+		tc(X, Y) :- tc(X, Z), arc(Z, Y).
+		missing(Y) :- arc(_, Y), !tc($src, Y).
+	`
+	r := Apply(analyze(t, src, intParam))
+	if !r.Rewritten() {
+		t.Fatalf("not rewritten; declined: %v", r.Declined)
+	}
+	reanalyze(t, r, intParam)
+}
+
+func TestApplyDeclines(t *testing.T) {
+	cases := map[string]struct {
+		src    string
+		reason string // substring the declined message must carry
+	}{
+		"no external site": {
+			src: `
+				tc(X, Y) :- arc(X, Y).
+				tc(X, Y) :- tc(X, Z), arc(Z, Y).
+			`,
+			reason: "no occurrence outside",
+		},
+		"unbound external site": {
+			src: `
+				tc(X, Y) :- arc(X, Y).
+				tc(X, Y) :- tc(X, Z), arc(Z, Y).
+				out(X, Y) :- tc(X, Y).
+			`,
+			reason: "",
+		},
+		"aggregated clique": {
+			src: `
+				sp(Y, min<C>) :- Y = $src, C = 0.
+				sp(Y, min<C>) :- sp(X, C1), arc(X, Y), C = C1 + 1.
+				out(C) :- sp($src, C).
+			`,
+			reason: "aggregate",
+		},
+		"second column bound, left-linear": {
+			// Demand on tc's column 2 cannot propagate through a
+			// left-to-right SIPS walk of tc(X, Z), arc(Z, Y): the
+			// recursive occurrence binds neither column, so σ empties.
+			src: `
+				tc(X, Y) :- arc(X, Y).
+				tc(X, Y) :- tc(X, Z), arc(Z, Y).
+				sources(X) :- tc(X, $src).
+			`,
+			reason: "",
+		},
+		"reserved namespace": {
+			src: `
+				tc__magic(X) :- arc(X, _).
+				tc(X, Y) :- tc__magic(X), arc(X, Y).
+				out(Y) :- tc($src, Y).
+			`,
+			reason: "reserved",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			r := Apply(analyze(t, tc.src, intParam))
+			if r.Rewritten() {
+				t.Fatalf("rewritten, want decline:\n%s", progText(r))
+			}
+			if len(r.Declined) == 0 {
+				t.Fatal("no declined reason recorded")
+			}
+			if tc.reason != "" && !strings.Contains(strings.Join(r.Declined, "; "), tc.reason) {
+				t.Fatalf("declined = %v, want substring %q", r.Declined, tc.reason)
+			}
+		})
+	}
+}
+
+func TestMagicNaming(t *testing.T) {
+	if MagicName("tc") != "tc__magic" {
+		t.Fatalf("MagicName = %q", MagicName("tc"))
+	}
+	if !IsMagic("tc__magic") || IsMagic("tc") {
+		t.Fatal("IsMagic misclassifies")
+	}
+}

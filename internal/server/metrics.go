@@ -70,6 +70,15 @@ type Metrics struct {
 	IvmRefreshFull        atomic.Int64
 	IvmDeltaTuples        atomic.Int64
 
+	// Demand-rewrite counters: queries whose program the magic-set
+	// rewrite restricted to the demanded bindings, plus the planner's
+	// estimated vs the engine's actual derivation counts for the
+	// estimable (non-recursive, fully statistics-covered) strata. A
+	// dashboard divides actual by est to watch the cost model's bias.
+	DemandRewrites     atomic.Int64
+	DemandEstTuples    atomic.Int64
+	DemandActualTuples atomic.Int64
+
 	// IvmRefreshSeconds distributes view-refresh wall time: incremental
 	// refreshes of small deltas land decades below the cold fixpoint
 	// recompute they replace.
@@ -166,6 +175,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, counters []counter, gauges ...gau
 	emit("dcserve_ivm_refresh_incremental_total", "View refreshes served by the delta kernel.", m.IvmRefreshIncremental.Load())
 	emit("dcserve_ivm_refresh_full_total", "View refreshes that fell back to a full recompute.", m.IvmRefreshFull.Load())
 	emit("dcserve_ivm_delta_tuples_total", "Delta-kernel tuples (added, over-deleted, re-derived) across incremental refreshes.", m.IvmDeltaTuples.Load())
+	emit("dcserve_demand_rewrites_total", "Queries evaluated under the demand (magic-set) rewrite.", m.DemandRewrites.Load())
+	emit("dcserve_demand_est_tuples_total", "Planner-estimated derivations for estimable strata, summed over queries.", m.DemandEstTuples.Load())
+	emit("dcserve_demand_actual_tuples_total", "Actual derivations for the same estimable strata, summed over queries.", m.DemandActualTuples.Load())
 	for _, c := range counters {
 		emit(c.name, c.help, c.value)
 	}

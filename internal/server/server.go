@@ -12,6 +12,7 @@ import (
 	"time"
 
 	dcdatalog "repro"
+	"repro/internal/rewrite"
 )
 
 // Config sizes the service.
@@ -371,7 +372,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	names := req.Relations
 	if len(names) == 0 {
 		for _, st := range stats.Strata {
-			names = append(names, st.Preds...)
+			for _, p := range st.Preds {
+				// Magic predicates are rewrite plumbing (the demanded
+				// binding sets), not part of the program the client wrote.
+				if rewrite.IsMagic(p) {
+					continue
+				}
+				names = append(names, p)
+			}
 		}
 	}
 	resp := queryResponse{
@@ -421,6 +429,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.metrics.StealAttempts.Add(stats.Steal.Attempts)
 	s.metrics.StealFailures.Add(stats.Steal.Failures)
 	s.metrics.SetupSeconds.Observe(stats.SetupDuration)
+	if res.DemandRewritten() {
+		s.metrics.DemandRewrites.Add(1)
+	}
+	if est, actual := res.DemandCardinalities(); est > 0 {
+		s.metrics.DemandEstTuples.Add(est)
+		s.metrics.DemandActualTuples.Add(actual)
+	}
 
 	writeJSON(w, http.StatusOK, resp)
 }

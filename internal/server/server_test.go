@@ -404,6 +404,53 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 }
 
+// TestBoundQueryDemandMetrics exercises the demand (magic-set) rewrite
+// over HTTP: a bound reachability query answers correctly, hides its
+// magic plumbing from the default relation listing, and increments the
+// rewrite counter on /metrics.
+func TestBoundQueryDemandMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerCycle(t, ts, "graph", 16)
+	boundProgram := tcProgram + "\nreach(Y) :- tc($src, Y).\n"
+	resp, qr := postQuery(t, ts, queryRequest{
+		Dataset: "graph",
+		Program: boundProgram,
+		Params:  map[string]any{"src": 3},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// Every vertex of a 16-cycle is reachable from vertex 3.
+	if qr.Counts["reach"] != 16 {
+		t.Fatalf("reach count = %d, want 16", qr.Counts["reach"])
+	}
+	// The default relation listing must not leak magic predicates.
+	for name := range qr.Relations {
+		if strings.HasSuffix(name, "__magic") {
+			t.Fatalf("magic predicate %q leaked into the default relation listing", name)
+		}
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(body)
+	if !strings.Contains(text, "dcserve_demand_rewrites_total 1") {
+		t.Errorf("demand rewrite counter not incremented:\n%s", text)
+	}
+	for _, want := range []string{
+		"dcserve_demand_est_tuples_total",
+		"dcserve_demand_actual_tuples_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
 // chainTSV renders n disjoint 2-chains (2i → 2i+1): large enough for
 // the arc index build to cost real time, while TC over it derives
 // nothing beyond the edges themselves.

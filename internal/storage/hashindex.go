@@ -58,7 +58,11 @@ type HashIndex struct {
 	// keyed reports the build-time audit passed: every bucket holds a
 	// single distinct key, so one verified row vouches for the rest.
 	keyed bool
-	arena []Value
+	// distinct is the number of distinct key values (= occupied slots),
+	// captured for free during the counting pass; the planner's cost
+	// model reads it via DistinctKeys.
+	distinct int
+	arena    []Value
 
 	// Blocked Bloom filter over distinct key hashes (see bloom.go).
 	bloom     []uint64
@@ -111,12 +115,17 @@ func NewHashIndex(tuples []Tuple, keyCols []int) *HashIndex {
 	idx.arena = make([]Value, idx.n*idx.width)
 	idx.bloom = make([]uint64, bloomBlocks(idx.n, 1)*bloomBlockWords)
 	idx.bloomMask = uint64(len(idx.bloom)/bloomBlockWords - 1)
-	region, tags, keyed := buildRegion(tuples, idx.width, keyCols, 0, hs, nil, 0, idx.arena, idx.bloom, idx.bloomMask)
+	region, tags, keyed, distinct := buildRegion(tuples, idx.width, keyCols, 0, hs, nil, 0, idx.arena, idx.bloom, idx.bloomMask)
 	idx.dirs = [][]idxSlot{region}
 	idx.tags = [][]uint8{tags}
 	idx.keyed = keyed
+	idx.distinct = distinct
 	return idx
 }
+
+// DistinctKeys returns the number of distinct key-column values in the
+// indexed relation, counted exactly during the build's counting pass.
+func (idx *HashIndex) DistinctKeys() int { return idx.distinct }
 
 // buildRegion groups one partition's entries into buckets: an
 // open-addressed slot region over the partition's distinct key hashes
@@ -128,10 +137,10 @@ func NewHashIndex(tuples []Tuple, keyCols []int) *HashIndex {
 // partition). The three passes are count → prefix-sum → scatter; the
 // scatter reuses each slot's start as its write cursor and the final
 // fixup pass rewinds it, so the build needs no side arrays.
-func buildRegion(tuples []Tuple, width int, keyCols []int, pShift uint8, hs []uint64, rows []uint32, rowBase int, arena []Value, bloom []uint64, bloomMask uint64) ([]idxSlot, []uint8, bool) {
+func buildRegion(tuples []Tuple, width int, keyCols []int, pShift uint8, hs []uint64, rows []uint32, rowBase int, arena []Value, bloom []uint64, bloomMask uint64) ([]idxSlot, []uint8, bool, int) {
 	k := len(hs)
 	if k == 0 {
-		return nil, nil, true
+		return nil, nil, true, 0
 	}
 	region := make([]idxSlot, nextPow2(2*k))
 	mask := uint64(len(region) - 1)
@@ -225,7 +234,7 @@ audit:
 			}
 		}
 	}
-	return region, tags, keyed
+	return region, tags, keyed, distinct
 }
 
 // parallelBuildMin is the relation size below which the sharded build
@@ -290,6 +299,10 @@ func BuildHashIndexes(tuples []Tuple, lookups [][]int, workers int) []*HashIndex
 		// kflags[p] is partition p's single-key audit result (phase D),
 		// AND-combined into idx.keyed afterwards.
 		kflags []bool
+		// dcounts[p] is partition p's distinct key count (phase D),
+		// summed into idx.distinct afterwards. Partitions split the key
+		// hash space, so per-partition distincts add exactly.
+		dcounts []int
 	}
 	states := make([]*buildState, len(lookups))
 	for l, cols := range lookups {
@@ -313,6 +326,7 @@ func BuildHashIndexes(tuples []Tuple, lookups [][]int, workers int) []*HashIndex
 			partH:     make([]uint64, n),
 			partRow:   make([]uint32, n),
 			kflags:    make([]bool, nParts),
+			dcounts:   make([]int, nParts),
 		}
 		for s := range st.counts {
 			st.counts[s] = make([]uint32, nParts)
@@ -368,10 +382,13 @@ func BuildHashIndexes(tuples []Tuple, lookups [][]int, workers int) []*HashIndex
 	runTasks(workers, len(lookups)*nParts, func(task int) {
 		st, p := states[task/nParts], task%nParts
 		lo, hi := st.partStart[p], st.partStart[p+1]
-		st.idx.dirs[p], st.idx.tags[p], st.kflags[p] = buildRegion(tuples, width, st.idx.keyCols, pShift,
+		st.idx.dirs[p], st.idx.tags[p], st.kflags[p], st.dcounts[p] = buildRegion(tuples, width, st.idx.keyCols, pShift,
 			st.partH[lo:hi], st.partRow[lo:hi], int(lo), st.idx.arena, st.idx.bloom, st.idx.bloomMask)
 	})
 	for _, st := range states {
+		for _, d := range st.dcounts {
+			st.idx.distinct += d
+		}
 		st.idx.keyed = true
 		for _, ok := range st.kflags {
 			if !ok {

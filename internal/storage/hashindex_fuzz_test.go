@@ -172,7 +172,7 @@ func TestSingleKeyAuditDetectsCollision(t *testing.T) {
 	hs := []uint64{0xdeadbeef, 0xdeadbeef} // forged: same "hash", different keys
 	arena := make([]Value, 4)
 	bloom := make([]uint64, bloomBlockWords)
-	region, tags, keyed := buildRegion(tuples, 2, []int{0}, 0, hs, nil, 0, arena, bloom, 0)
+	region, tags, keyed, _ := buildRegion(tuples, 2, []int{0}, 0, hs, nil, 0, arena, bloom, 0)
 	if keyed {
 		t.Fatalf("audit accepted a bucket holding two distinct keys")
 	}

@@ -1,0 +1,99 @@
+package storage
+
+import (
+	"math"
+	"math/bits"
+)
+
+// exactDistinctMax is the relation size up to which per-column
+// distincts are counted exactly with a small open-addressed table;
+// larger relations switch to linear counting over a fixed bitmap.
+const exactDistinctMax = 1 << 13
+
+// ColumnDistincts estimates the number of distinct values in every
+// column of tuples, using up to `workers` goroutines (one task per
+// column). Small relations are counted exactly; larger ones use linear
+// counting — a single pass setting hash bits in a fixed bitmap, with
+// the estimate -m·ln(empty/m) — which stays within a few percent at
+// the load factors the bitmap sizing below allows. The planner's cost
+// model only needs order-of-magnitude fan-outs, so the estimator
+// favors one cheap cache-friendly pass over sketch precision.
+func ColumnDistincts(tuples []Tuple, workers int) []int {
+	if len(tuples) == 0 {
+		return nil
+	}
+	width := len(tuples[0])
+	out := make([]int, width)
+	n := len(tuples)
+	runTasks(workers, width, func(c int) {
+		if n <= exactDistinctMax {
+			out[c] = exactColumnDistinct(tuples, c)
+		} else {
+			out[c] = linearCountColumn(tuples, c)
+		}
+	})
+	return out
+}
+
+// exactColumnDistinct counts column c's distinct values with an
+// open-addressed hash set sized for the relation.
+func exactColumnDistinct(tuples []Tuple, c int) int {
+	mask := uint64(nextPow2(2*len(tuples)) - 1)
+	// Slot state: used flag kept separately so value 0 is representable.
+	vals := make([]Value, mask+1)
+	used := make([]bool, mask+1)
+	distinct := 0
+	for _, t := range tuples {
+		v := t[c]
+		i := Mix(uint64(v)) & mask
+		for used[i] {
+			if vals[i] == v {
+				break
+			}
+			i = (i + 1) & mask
+		}
+		if !used[i] {
+			used[i] = true
+			vals[i] = v
+			distinct++
+		}
+	}
+	return distinct
+}
+
+// linearCountColumn estimates column c's distinct count by linear
+// counting: set bit Mix(v) mod m in an m-bit bitmap, then estimate
+// d ≈ -m·ln(Vn) where Vn is the fraction of bits still zero. The
+// bitmap is sized at ~2 bits per row (capped), keeping the load factor
+// in linear counting's accurate range for the estimates' use here.
+func linearCountColumn(tuples []Tuple, c int) int {
+	n := len(tuples)
+	m := nextPow2(2 * n)
+	const maxBits = 1 << 22 // 512 KiB bitmap cap
+	if m > maxBits {
+		m = maxBits
+	}
+	bitmapMask := uint64(m - 1)
+	bitmap := make([]uint64, m/64)
+	for _, t := range tuples {
+		b := Mix(uint64(t[c])) & bitmapMask
+		bitmap[b>>6] |= 1 << (b & 63)
+	}
+	ones := 0
+	for _, w := range bitmap {
+		ones += bits.OnesCount64(w)
+	}
+	empty := m - ones
+	if empty == 0 {
+		// Bitmap saturated: every value distinct as far as we can tell.
+		return n
+	}
+	est := int(math.Round(-float64(m) * math.Log(float64(empty)/float64(m))))
+	if est < 1 {
+		est = 1
+	}
+	if est > n {
+		est = n
+	}
+	return est
+}

@@ -1,0 +1,72 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestColumnDistinctsExactSmall(t *testing.T) {
+	// 1000 rows: col 0 cycles through 10 values, col 1 is unique,
+	// col 2 is constant. Under exactDistinctMax, so counts are exact.
+	var tuples []Tuple
+	for i := 0; i < 1000; i++ {
+		tuples = append(tuples, Tuple{IntVal(int64(i % 10)), IntVal(int64(i)), IntVal(7)})
+	}
+	got := ColumnDistincts(tuples, 4)
+	want := []int{10, 1000, 1}
+	for c := range want {
+		if got[c] != want[c] {
+			t.Fatalf("col %d distinct = %d, want %d", c, got[c], want[c])
+		}
+	}
+}
+
+func TestColumnDistinctsEmpty(t *testing.T) {
+	if got := ColumnDistincts(nil, 4); got != nil {
+		t.Fatalf("empty input: %v, want nil", got)
+	}
+}
+
+func TestColumnDistinctsLinearCountingAccuracy(t *testing.T) {
+	// 40000 rows (past the exact cutoff): col 0 draws from 5000 values,
+	// col 1 is unique. Linear counting at ~2 bits/row must land within
+	// 10% of the truth — the cost model only needs the magnitude.
+	rng := rand.New(rand.NewSource(11))
+	n := 40000
+	truth0 := map[int64]bool{}
+	tuples := make([]Tuple, n)
+	for i := range tuples {
+		v := rng.Int63n(5000)
+		truth0[v] = true
+		tuples[i] = Tuple{IntVal(v), IntVal(int64(i))}
+	}
+	got := ColumnDistincts(tuples, 4)
+	checks := []struct {
+		col  int
+		want int
+	}{{0, len(truth0)}, {1, n}}
+	for _, ck := range checks {
+		rel := math.Abs(float64(got[ck.col])-float64(ck.want)) / float64(ck.want)
+		if rel > 0.10 {
+			t.Errorf("col %d estimate %d vs truth %d: %.1f%% off",
+				ck.col, got[ck.col], ck.want, 100*rel)
+		}
+	}
+}
+
+func TestHashIndexDistinctKeys(t *testing.T) {
+	// The two-pass index build counts distinct keys as a byproduct; the
+	// count must be exact on both the serial and the sharded parallel
+	// build paths (10k rows clears parallelBuildMin).
+	var tuples []Tuple
+	for i := 0; i < 10000; i++ {
+		tuples = append(tuples, Tuple{IntVal(int64(i % 123)), IntVal(int64(i))})
+	}
+	for _, workers := range []int{1, 4} {
+		idx := BuildHashIndexes(tuples, [][]int{{0}}, workers)[0]
+		if got := idx.DistinctKeys(); got != 123 {
+			t.Fatalf("workers=%d: DistinctKeys = %d, want 123", workers, got)
+		}
+	}
+}
